@@ -1,0 +1,121 @@
+// Ablation A9: centralized bandwidth arbitration (§5's "Fastpass/pHost as
+// an NSM" point). Four tenants contend for a 10 Gb/s uplink; with
+// uncoordinated stacks each congestion controller fights it out at the
+// switch queue; with the provider's arbiter re-programming per-tenant rate
+// caps every 5 ms, shares converge by construction and the bottleneck
+// queue stays nearly empty.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/scenario.hpp"
+#include "apps/workloads.hpp"
+#include "common/stats.hpp"
+#include "core/arbiter.hpp"
+
+namespace {
+
+using namespace nk;
+using apps::side;
+
+struct outcome {
+  double aggregate_gbps = 0;
+  double fairness = 0;  // min/max tenant rate
+  double mean_queue_kb = 0;
+  std::uint64_t drops = 0;
+};
+
+outcome run(bool arbitrated, int tenants) {
+  auto params = apps::datacenter_params(19);
+  params.wire.rate = data_rate::gbps(10);
+  params.wire.queue.capacity_bytes = 512 * 1024;
+  apps::testbed bed{params};
+
+  core::nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  virt::vm_config vm_cfg;
+  std::vector<apps::nk_tenant> vms;
+  for (int i = 0; i < tenants; ++i) {
+    vm_cfg.name = "tenant-" + std::to_string(i);
+    nsm_cfg.name = "nsm-" + std::to_string(i);
+    vms.push_back(bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg));
+  }
+  vm_cfg.name = "server";
+  nsm_cfg.name = "nsm-server";
+  nsm_cfg.cores = 3;
+  auto server = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+  apps::bulk_sink sink{*server.api, 5001, false};
+  sink.start();
+
+  std::vector<std::unique_ptr<apps::bulk_sender>> senders;
+  for (auto& vm : vms) {
+    apps::bulk_sender_config scfg;
+    scfg.flows = 1;
+    scfg.bytes_per_flow = 0;
+    scfg.patterned = false;
+    senders.push_back(std::make_unique<apps::bulk_sender>(
+        *vm.api, net::socket_addr{server.module->config().address, 5001},
+        scfg));
+    senders.back()->start();
+  }
+
+  core::arbiter_config acfg;
+  acfg.link_capacity = data_rate::gbps(10);
+  acfg.epoch = milliseconds(5);
+  core::bandwidth_arbiter arbiter{bed.netkernel(side::a), acfg};
+  if (arbitrated) arbiter.start();
+
+  bed.run_for(milliseconds(150));  // converge
+  std::vector<std::uint64_t> before;
+  for (auto& vm : vms) {
+    before.push_back(
+        bed.netkernel(side::a).sla().usage_of(vm.vm->id()).bytes_sent);
+  }
+  const std::uint64_t sink_before = sink.total_bytes();
+  running_stats queue_kb;
+  for (int i = 0; i < 300; ++i) {
+    bed.run_for(milliseconds(1));
+    queue_kb.add(static_cast<double>(bed.wire().forward().queue_bytes()) /
+                 1024.0);
+  }
+
+  outcome out;
+  double min_rate = 1e18;
+  double max_rate = 0;
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const auto& usage =
+        bed.netkernel(side::a).sla().usage_of(vms[i].vm->id());
+    const double rate =
+        rate_of(usage.bytes_sent - before[i], milliseconds(300)).bps();
+    min_rate = std::min(min_rate, rate);
+    max_rate = std::max(max_rate, rate);
+  }
+  out.aggregate_gbps =
+      rate_of(sink.total_bytes() - sink_before, milliseconds(300)).bps() /
+      1e9;
+  out.fairness = max_rate > 0 ? min_rate / max_rate : 0;
+  out.mean_queue_kb = queue_kb.mean();
+  out.drops = bed.wire().forward().queue_statistics().dropped;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation A9: centralized bandwidth arbitration across tenants\n"
+      "(four Cubic tenants on one 10 Gb/s uplink; arbiter epoch 5 ms)\n\n");
+  std::printf("%-16s %12s %10s %14s %8s\n", "coordination", "aggregate",
+              "fairness", "mean queue", "drops");
+  for (const bool arbitrated : {false, true}) {
+    const outcome o = run(arbitrated, 4);
+    std::printf("%-16s %8.2f Gb/s %10.2f %10.1f KiB %8llu\n",
+                arbitrated ? "arbitrated" : "uncoordinated",
+                o.aggregate_gbps, o.fairness, o.mean_queue_kb,
+                static_cast<unsigned long long>(o.drops));
+  }
+  std::printf(
+      "\n(the arbiter buys fairness and an empty queue for a small\n"
+      " utilization haircut — coordination no tenant had to opt into)\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation A8: flow completion time under realistic datacenter traffic.
+//
+// The web-search flow mix (DCTCP paper) offered at moderate load to a 10G
+// bottleneck with a shallow ECN-marking buffer. The metric is per-class
+// FCT: mice (<100 KB) live or die by queueing delay and loss; elephants by
+// throughput. NSaaS makes the transport serving this traffic a provider
+// decision (§2.1/§5) — this harness quantifies what that decision is worth.
+#include <cstdio>
+
+#include "apps/flowgen.hpp"
+#include "apps/scenario.hpp"
+
+namespace {
+
+using namespace nk;
+using apps::side;
+
+struct outcome {
+  double mice_p50 = 0;
+  double mice_p99 = 0;
+  double medium_p50 = 0;
+  double elephant_p50 = 0;
+  int elephants = 0;
+  int completed = 0;
+};
+
+outcome run(tcp::cc_algorithm cc, std::uint64_t seed) {
+  auto params = apps::datacenter_params(seed);
+  params.wire.rate = data_rate::gbps(10);
+  params.wire.queue.capacity_bytes = 256 * 1024;
+  params.wire.queue.ecn_threshold_bytes = 48 * 1024;
+  apps::testbed bed{params};
+
+  auto tcp_cfg = apps::datacenter_tcp(cc);
+  tcp_cfg.mss = 1448;
+  core::nsm_config nsm_cfg;
+  nsm_cfg.cc = cc;
+  nsm_cfg.tcp = tcp_cfg;
+  nsm_cfg.cores = 2;
+
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "src-vm";
+  nsm_cfg.name = "nsm-src";
+  auto src = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "dst-vm";
+  nsm_cfg.name = "nsm-dst";
+  auto dst = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+
+  apps::flow_sink sink{*dst.api, 7100};
+  sink.sim = &bed.sim();
+  sink.start();
+
+  apps::flowgen_config fcfg;
+  fcfg.mix = apps::flow_mix::websearch;
+  fcfg.flows = 400;
+  fcfg.arrivals_per_sec = 1500;  // ~0.5 load at the truncated mean size
+  fcfg.seed = seed;
+  fcfg.max_flow_bytes = 32 * 1024 * 1024;  // keep the elephant class populated
+  apps::flow_generator gen{*src.api, bed.sim(),
+                           {dst.module->config().address, 7100}, fcfg};
+  gen.start();
+
+  bed.run_for(seconds(4));
+
+  outcome out;
+  out.mice_p50 = sink.fct_us(apps::size_class::mice).median();
+  out.mice_p99 = sink.fct_us(apps::size_class::mice).percentile(99);
+  out.medium_p50 = sink.fct_us(apps::size_class::medium).median();
+  out.elephant_p50 = sink.fct_us(apps::size_class::elephants).median();
+  out.elephants = static_cast<int>(sink.fct_us(apps::size_class::elephants).size());
+  out.completed = sink.completed();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation A8: per-class FCT, web-search mix at ~0.5 load, 10G "
+      "bottleneck\n(400 flows, Poisson arrivals; FCT in microseconds)\n\n");
+  std::printf("%-8s %12s %12s %12s %14s %10s\n", "stack", "mice p50",
+              "mice p99", "medium p50", "elephant p50", "completed");
+  for (const auto cc : {tcp::cc_algorithm::cubic, tcp::cc_algorithm::dctcp,
+                        tcp::cc_algorithm::bbr}) {
+    const outcome o = run(cc, 900);
+    std::printf("%-8s %12.0f %12.0f %12.0f %11.0f(%d) %8d\n",
+                std::string{to_string(cc)}.c_str(), o.mice_p50, o.mice_p99,
+                o.medium_p50, o.elephant_p50, o.elephants, o.completed);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// §5's container story: "A container running a Spark task may use DCTCP for
+// its traffic, while a web server container may need BBR or CUBIC."
+//
+// Two tenants ("containers" — lightweight guests with no in-guest stack) on
+// the SAME host each get their own NSM with a different provider-operated
+// stack: a DCTCP module (container form, ECN) for the analytics tenant and
+// a BBR module for the web tenant. Each phase runs one tenant against a
+// matching peer and reports the stack's signature behaviour: DCTCP rides
+// the ECN threshold with a shallow queue; BBR paces at the estimated
+// bottleneck without filling the buffer. Impossible when containers must
+// share one host kernel stack.
+//
+//   ./build/examples/containers_per_stack
+#include <cstdio>
+
+#include "apps/scenario.hpp"
+#include "apps/workloads.hpp"
+#include "common/stats.hpp"
+
+using namespace nk;
+using apps::side;
+
+namespace {
+
+struct phase_result {
+  double gbps = 0;
+  double mean_queue_kb = 0;
+  std::uint64_t ecn_marks = 0;
+  std::uint64_t drops = 0;
+};
+
+phase_result run_tenant(tcp::cc_algorithm cc) {
+  auto params = apps::datacenter_params(12);
+  // The wire (25 Gb/s, ECN marking above 64 KB) is the bottleneck.
+  params.wire.rate = data_rate::gbps(25);
+  params.wire.queue.capacity_bytes = 1024 * 1024;
+  params.wire.queue.ecn_threshold_bytes = 64 * 1024;
+  apps::testbed bed{params};
+
+  core::nsm_config nsm_cfg;
+  nsm_cfg.form = core::nsm_form::container;
+  nsm_cfg.cc = cc;
+  nsm_cfg.tcp = apps::datacenter_tcp(cc);
+  virt::vm_config guest;
+  guest.vcpus = 1;
+  guest.name = "tenant-container";
+  auto tenant = bed.add_netkernel_vm(side::a, guest, nsm_cfg);
+
+  // Peer NSM runs the same stack so ECN (DCTCP) negotiates end to end.
+  nsm_cfg.name = "peer-nsm";
+  guest.name = "peer-vm";
+  auto peer = bed.add_netkernel_vm(side::b, guest, nsm_cfg);
+
+  apps::bulk_sink sink{*peer.api, 5001, false};
+  sink.start();
+  apps::bulk_sender_config scfg;
+  scfg.flows = 1;
+  scfg.bytes_per_flow = 0;
+  scfg.patterned = false;
+  apps::bulk_sender tx{*tenant.api, {peer.module->config().address, 5001},
+                       scfg};
+  tx.start();
+
+  bed.run_for(milliseconds(100));  // warm-up
+  const std::uint64_t warm = sink.total_bytes();
+  running_stats queue_kb;
+  for (int i = 0; i < 200; ++i) {
+    bed.run_for(milliseconds(1));
+    queue_kb.add(static_cast<double>(bed.wire().forward().queue_bytes()) /
+                 1024.0);
+  }
+
+  phase_result out;
+  out.gbps = rate_of(sink.total_bytes() - warm, milliseconds(200)).bps() / 1e9;
+  out.mean_queue_kb = queue_kb.mean();
+  out.ecn_marks = bed.wire().forward().queue_statistics().ecn_marked;
+  out.drops = bed.wire().forward().queue_statistics().dropped;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "per-container provider stacks (25 Gb/s bottleneck, ECN K = 64 KB):\n\n");
+  std::printf("%-24s %-10s %12s %14s %10s %8s\n", "tenant", "stack",
+              "goodput", "mean queue", "ECN marks", "drops");
+
+  struct {
+    const char* name;
+    tcp::cc_algorithm cc;
+  } tenants[] = {{"spark-container", tcp::cc_algorithm::dctcp},
+                 {"web-container", tcp::cc_algorithm::bbr},
+                 {"legacy-container", tcp::cc_algorithm::cubic}};
+
+  for (const auto& t : tenants) {
+    const phase_result r = run_tenant(t.cc);
+    std::printf("%-24s %-10s %8.2f Gb/s %10.1f KiB %10llu %8llu\n", t.name,
+                std::string{to_string(t.cc)}.c_str(), r.gbps,
+                r.mean_queue_kb,
+                static_cast<unsigned long long>(r.ecn_marks),
+                static_cast<unsigned long long>(r.drops));
+  }
+  std::printf(
+      "\nDCTCP holds the queue near K with ECN and zero drops; Cubic fills\n"
+      "the megabyte buffer; BBR paces near line rate with a modest queue —\n"
+      "each container got the transport its workload wants (§5).\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+#include "apps/flowgen.hpp"
+
+#include <span>
+
+#include <algorithm>
+#include <array>
+
+namespace nk::apps {
+
+std::string_view to_string(flow_mix mix) {
+  switch (mix) {
+    case flow_mix::websearch: return "websearch";
+    case flow_mix::datamining: return "datamining";
+    case flow_mix::uniform: return "uniform";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(size_class c) {
+  switch (c) {
+    case size_class::mice: return "mice(<100KB)";
+    case size_class::medium: return "medium(<10MB)";
+    case size_class::elephants: return "elephants";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct cdf_point {
+  double p;            // cumulative probability
+  std::uint64_t size;  // bytes
+};
+
+// Piecewise-linear inverse CDF sampling on log-ish knot points taken from
+// the published distributions (coarse, but preserves the mice/elephant
+// structure that matters for FCT experiments).
+std::uint64_t sample_cdf(std::span<const cdf_point> cdf, rng& random) {
+  const double u = random.next_double();
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    if (u <= cdf[i].p) {
+      const double span = cdf[i].p - cdf[i - 1].p;
+      const double frac = span > 0 ? (u - cdf[i - 1].p) / span : 0.0;
+      const double lo = static_cast<double>(cdf[i - 1].size);
+      const double hi = static_cast<double>(cdf[i].size);
+      return static_cast<std::uint64_t>(lo + frac * (hi - lo));
+    }
+  }
+  return cdf.back().size;
+}
+
+// DCTCP paper web-search workload (Alizadeh et al., Fig. 4 shape).
+constexpr std::array<cdf_point, 7> websearch_cdf{{{0.0, 6 * 1024},
+                                                  {0.15, 10 * 1024},
+                                                  {0.4, 50 * 1024},
+                                                  {0.6, 200 * 1024},
+                                                  {0.8, 1 * 1024 * 1024},
+                                                  {0.95, 10 * 1024 * 1024},
+                                                  {1.0, 30 * 1024 * 1024}}};
+
+// VL2 data-mining workload (Greenberg et al. shape): mostly tiny flows,
+// very heavy tail.
+constexpr std::array<cdf_point, 7> datamining_cdf{{{0.0, 100},
+                                                   {0.5, 1 * 1024},
+                                                   {0.8, 10 * 1024},
+                                                   {0.9, 100 * 1024},
+                                                   {0.96, 1 * 1024 * 1024},
+                                                   {0.99, 30 * 1024 * 1024},
+                                                   {1.0, 100 * 1024 * 1024}}};
+
+}  // namespace
+
+std::uint64_t sample_flow_size(flow_mix mix, rng& random) {
+  switch (mix) {
+    case flow_mix::websearch:
+      return sample_cdf(websearch_cdf, random);
+    case flow_mix::datamining:
+      return sample_cdf(datamining_cdf, random);
+    case flow_mix::uniform:
+      return 1 + random.next_below(64 * 1024);
+  }
+  return 1024;
+}
+
+// --- flow_sink ----------------------------------------------------------------------
+
+flow_sink::flow_sink(socket_api& api, std::uint16_t port)
+    : api_{api}, port_{port} {}
+
+void flow_sink::start() {
+  listener_ = api_.open().value();
+  (void)api_.bind(listener_, port_);
+  (void)api_.listen(listener_, 4096);
+  api_.on_event(listener_, [this](app_socket, app_event type, errc) {
+    if (type != app_event::accept_ready) return;
+    while (true) {
+      auto r = api_.accept(listener_);
+      if (!r) break;
+      const app_socket s = r.value();
+      flows_[s] = flow_state{sim->now(), 0};
+      api_.on_event(s, [this](app_socket sock, app_event t, errc) {
+        if (t == app_event::readable) drain(sock);
+      });
+      drain(s);
+    }
+  });
+}
+
+void flow_sink::drain(app_socket s) {
+  auto it = flows_.find(s);
+  if (it == flows_.end()) return;
+  while (true) {
+    auto r = api_.recv(s, 1 << 20);
+    if (!r) {
+      if (r.error() == errc::closed) {
+        const double fct_us =
+            static_cast<double>((sim->now() - it->second.accepted_at).count()) /
+            1000.0;
+        fct_us_[static_cast<std::size_t>(classify(it->second.bytes))].add(
+            fct_us);
+        ++completed_;
+        (void)api_.close(s);
+        flows_.erase(it);
+      }
+      return;
+    }
+    it->second.bytes += r.value().size();
+    total_bytes_ += r.value().size();
+  }
+}
+
+// --- flow_generator -----------------------------------------------------------------
+
+flow_generator::flow_generator(socket_api& api, sim::simulator& s,
+                               net::socket_addr dest,
+                               const flowgen_config& cfg)
+    : api_{api}, sim_{s}, dest_{dest}, cfg_{cfg}, rng_{cfg.seed} {}
+
+void flow_generator::start() { schedule_next_arrival(); }
+
+void flow_generator::schedule_next_arrival() {
+  if (launched_ >= cfg_.flows) return;
+  const double gap_s = rng_.exponential(1.0 / cfg_.arrivals_per_sec);
+  sim_.schedule(sim_time{static_cast<std::int64_t>(gap_s * 1e9)}, [this] {
+    launch_flow();
+    schedule_next_arrival();
+  });
+}
+
+void flow_generator::launch_flow() {
+  ++launched_;
+  const std::uint64_t size = std::clamp<std::uint64_t>(
+      sample_flow_size(cfg_.mix, rng_), 1, cfg_.max_flow_bytes);
+  offered_ += size;
+
+  const app_socket s = api_.open().value();
+  active_[s] = active_flow{size, 0};
+  api_.on_event(s, [this](app_socket sock, app_event type, errc) {
+    if (type == app_event::connected || type == app_event::writable) {
+      pump(sock);
+    } else if (type == app_event::error) {
+      active_.erase(sock);
+      (void)api_.close(sock);
+    }
+  });
+  (void)api_.connect(s, dest_);
+}
+
+void flow_generator::pump(app_socket s) {
+  auto it = active_.find(s);
+  if (it == active_.end()) return;
+  active_flow& f = it->second;
+  while (f.sent < f.size) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(64 * 1024, f.size - f.sent));
+    auto r = api_.send(s, buffer::zeroed(want));
+    if (!r) return;  // resume on writable
+    f.sent += r.value();
+  }
+  ++finished_;
+  (void)api_.close(s);  // FIN after the last byte: the sink's EOF marker
+  active_.erase(it);
+}
+
+}  // namespace nk::apps

@@ -1,0 +1,104 @@
+// Experiment scenario builder: a two-host testbed (the paper's two Xeon
+// servers, or the two ends of the Figure 5 WAN path) with helpers to place
+// legacy VMs (in-guest stack) and NetKernel VMs (GuestLib + NSM + CoreEngine)
+// on either side. All benches, examples and integration tests assemble
+// their topologies through this.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/socket_api.hpp"
+#include "core/core_engine.hpp"
+#include "core/guest_lib.hpp"
+#include "core/nsm.hpp"
+#include "phys/link.hpp"
+#include "sim/simulator.hpp"
+#include "virt/hypervisor.hpp"
+
+namespace nk::apps {
+
+enum class side { a, b };
+
+// Default TCP parameters for the two link regimes the paper evaluates.
+[[nodiscard]] tcp::tcp_config datacenter_tcp(tcp::cc_algorithm cc);
+[[nodiscard]] tcp::tcp_config wan_tcp(tcp::cc_algorithm cc);
+
+// Legacy guest-kernel stack cost: ~0.17 ns/B + 300 ns/pkt caps one core
+// near 33 Gb/s — the Figure 4 single-flow CPU bottleneck.
+[[nodiscard]] stack::processing_cost legacy_stack_cost();
+
+struct testbed_params {
+  std::uint64_t seed = 1;
+  phys::link_config wire{};  // the inter-host path
+  virt::host_config host_a{};
+  virt::host_config host_b{};
+  core::core_engine_config netkernel{};
+};
+
+// 40 GbE back-to-back testbed (paper §4.1).
+[[nodiscard]] testbed_params datacenter_params(std::uint64_t seed = 1);
+
+// Beijing<->California path: 12 Mb/s uplink, 350 ms RTT, lossy (Figure 5).
+// The default loss rate is calibrated so native Cubic lands near the
+// paper's measured 2.61 Mb/s (see EXPERIMENTS.md).
+[[nodiscard]] testbed_params wan_params(std::uint64_t seed = 1,
+                                        double loss_rate = 0.001);
+
+struct legacy_tenant {
+  virt::machine* vm = nullptr;
+  std::unique_ptr<native_socket_api> api;
+};
+
+struct nk_tenant {
+  virt::machine* vm = nullptr;
+  core::nsm* module = nullptr;
+  core::guest_lib* glib = nullptr;
+  std::unique_ptr<netkernel_socket_api> api;
+};
+
+class testbed {
+ public:
+  explicit testbed(const testbed_params& params);
+
+  testbed(const testbed&) = delete;
+  testbed& operator=(const testbed&) = delete;
+
+  [[nodiscard]] sim::simulator& sim() { return sim_; }
+  [[nodiscard]] virt::hypervisor& host(side s) {
+    return s == side::a ? *host_a_ : *host_b_;
+  }
+  [[nodiscard]] core::core_engine& netkernel(side s) {
+    return s == side::a ? *ce_a_ : *ce_b_;
+  }
+  [[nodiscard]] phys::duplex_link& wire() { return *wire_; }
+
+  // Fresh tenant address on that side (10.0.{1,2}.x).
+  [[nodiscard]] net::ipv4_addr next_address(side s);
+
+  // A VM with the legacy in-guest stack (Figure 1a).
+  legacy_tenant add_legacy_vm(side s, virt::vm_config cfg);
+
+  // A VM served by a dedicated new NSM through NetKernel (Figure 1b).
+  nk_tenant add_netkernel_vm(side s, virt::vm_config vm_cfg,
+                             core::nsm_config nsm_cfg);
+
+  // A VM multiplexed onto an existing NSM (§2.1 multiplexing gains).
+  nk_tenant attach_netkernel_vm(side s, virt::vm_config vm_cfg,
+                                core::nsm& module);
+
+  // Runs the simulation clock forward.
+  void run_for(sim_time duration) { sim_.run_until(sim_.now() + duration); }
+
+ private:
+  sim::simulator sim_;
+  std::unique_ptr<virt::hypervisor> host_a_;
+  std::unique_ptr<virt::hypervisor> host_b_;
+  phys::duplex_link* wire_ = nullptr;
+  std::unique_ptr<core::core_engine> ce_a_;
+  std::unique_ptr<core::core_engine> ce_b_;
+  std::uint8_t next_host_octet_a_ = 10;
+  std::uint8_t next_host_octet_b_ = 10;
+};
+
+}  // namespace nk::apps

@@ -1,0 +1,94 @@
+// Reference-counted immutable byte buffers and slices.
+//
+// Application payload travels through the simulator as real bytes so that
+// end-to-end integrity can be asserted, but packets never deep-copy payload:
+// a `buffer` is a cheap slice view into shared storage, so retransmissions,
+// reassembly and fan-out are all zero-copy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace nk {
+
+class buffer {
+ public:
+  buffer() = default;
+
+  // Deep-copies `bytes` into new shared storage.
+  static buffer copy_of(std::span<const std::byte> bytes);
+  static buffer copy_of(const void* data, std::size_t len);
+
+  // Allocates `len` bytes filled with a deterministic pattern derived from
+  // the absolute stream offset, so a receiver can validate any slice of a
+  // stream knowing only its offset (see matches_pattern).
+  static buffer pattern(std::size_t len, std::uint64_t stream_offset = 0);
+
+  // Allocates `len` zero bytes.
+  static buffer zeroed(std::size_t len);
+
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] bool empty() const { return len_ == 0; }
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {storage_ ? storage_->data() + off_ : nullptr, len_};
+  }
+
+  // Sub-slice [off, off+len), sharing storage. Clamps to bounds.
+  [[nodiscard]] buffer slice(std::size_t off, std::size_t len) const;
+  [[nodiscard]] buffer prefix(std::size_t len) const { return slice(0, len); }
+  [[nodiscard]] buffer suffix_from(std::size_t off) const {
+    return slice(off, len_ >= off ? len_ - off : 0);
+  }
+
+  // The deterministic byte expected at stream offset `off` by pattern().
+  static std::byte pattern_byte(std::uint64_t off);
+
+  // True iff this buffer equals pattern(size(), stream_offset).
+  [[nodiscard]] bool matches_pattern(std::uint64_t stream_offset) const;
+
+  friend bool operator==(const buffer& a, const buffer& b);
+
+ private:
+  using storage = std::vector<std::byte>;
+  buffer(std::shared_ptr<const storage> s, std::size_t off, std::size_t len)
+      : storage_{std::move(s)}, off_{off}, len_{len} {}
+
+  std::shared_ptr<const storage> storage_;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
+
+// FIFO of buffers with byte-granular consumption; backs TCP send/receive
+// queues and application streams.
+class buffer_chain {
+ public:
+  void append(buffer b);
+
+  // Splices all of `other` onto the end (zero-copy).
+  void append(buffer_chain&& other);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // Copies up to `len` bytes starting `offset` bytes into the chain, without
+  // consuming them (used for retransmission from the send queue).
+  [[nodiscard]] buffer peek(std::size_t offset, std::size_t len) const;
+
+  // Removes the first `len` bytes (clamped to size()).
+  void consume(std::size_t len);
+
+  // Removes and returns up to `len` bytes.
+  buffer pop(std::size_t len);
+
+  void clear();
+
+ private:
+  std::deque<buffer> parts_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nk

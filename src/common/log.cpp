@@ -1,0 +1,31 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace nk {
+namespace {
+log_level g_level = log_level::off;
+
+const char* level_name(log_level level) {
+  switch (level) {
+    case log_level::trace: return "TRACE";
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(log_level level) { g_level = level; }
+log_level current_log_level() { return g_level; }
+
+namespace detail {
+void emit(log_level level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace nk

@@ -1,0 +1,40 @@
+// Minimal leveled logger. Off by default so simulations stay quiet; tests
+// and examples can raise the level for tracing. Not thread-safe by design:
+// each simulation is single-threaded (see sim::simulator).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nk {
+
+enum class log_level { trace, debug, info, warn, error, off };
+
+// Global minimum level; messages below it are discarded.
+void set_log_level(log_level level);
+[[nodiscard]] log_level current_log_level();
+
+namespace detail {
+void emit(log_level level, const std::string& message);
+}
+
+template <typename... Args>
+void log(log_level level, const Args&... args) {
+  if (level < current_log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::emit(level, os.str());
+}
+
+template <typename... Args>
+void log_trace(const Args&... args) { log(log_level::trace, args...); }
+template <typename... Args>
+void log_debug(const Args&... args) { log(log_level::debug, args...); }
+template <typename... Args>
+void log_info(const Args&... args) { log(log_level::info, args...); }
+template <typename... Args>
+void log_warn(const Args&... args) { log(log_level::warn, args...); }
+template <typename... Args>
+void log_error(const Args&... args) { log(log_level::error, args...); }
+
+}  // namespace nk

@@ -1,0 +1,108 @@
+// Error handling for the socket-facing layers. The simulated data path is
+// exception-free on purpose: failures like "would block" or "connection
+// reset" are expected outcomes of the protocol, not programming errors, so
+// they travel as values (E.2 reserves exceptions for real failures such as
+// resource exhaustion during construction).
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace nk {
+
+enum class errc {
+  ok = 0,
+  would_block,         // operation cannot make progress right now
+  in_use,              // address or identifier already taken
+  not_found,           // unknown socket / connection / mapping
+  invalid_argument,    // caller error detectable at the API boundary
+  connection_reset,    // peer aborted the connection
+  connection_refused,  // no listener at the destination
+  not_connected,       // operation requires an established connection
+  already_connected,   // connect() on a connected socket
+  closed,              // socket has been shut down
+  timed_out,           // connection establishment or transfer timed out
+  buffer_full,         // send/receive buffer cannot accept more data
+  permission_denied,   // isolation violation (e.g. foreign huge-page access)
+  not_supported,       // operation not available on this stack / guest OS
+  resource_exhausted,  // out of ports, queue slots, chunks, ...
+};
+
+[[nodiscard]] constexpr std::string_view to_string(errc e) {
+  switch (e) {
+    case errc::ok: return "ok";
+    case errc::would_block: return "would_block";
+    case errc::in_use: return "in_use";
+    case errc::not_found: return "not_found";
+    case errc::invalid_argument: return "invalid_argument";
+    case errc::connection_reset: return "connection_reset";
+    case errc::connection_refused: return "connection_refused";
+    case errc::not_connected: return "not_connected";
+    case errc::already_connected: return "already_connected";
+    case errc::closed: return "closed";
+    case errc::timed_out: return "timed_out";
+    case errc::buffer_full: return "buffer_full";
+    case errc::permission_denied: return "permission_denied";
+    case errc::not_supported: return "not_supported";
+    case errc::resource_exhausted: return "resource_exhausted";
+  }
+  return "unknown";
+}
+
+// Minimal expected-like carrier (std::expected is C++23).
+template <typename T>
+class [[nodiscard]] result {
+ public:
+  result(T value) : state_{std::move(value)} {}  // NOLINT: implicit by design
+  result(errc error) : state_{error} {           // NOLINT: implicit by design
+    assert(error != errc::ok && "errc::ok is not an error state");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] errc error() const {
+    return ok() ? errc::ok : std::get<errc>(state_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, errc> state_;
+};
+
+// void specialization: just a status.
+template <>
+class [[nodiscard]] result<void> {
+ public:
+  result() = default;
+  result(errc error) : error_{error} {}  // NOLINT: implicit by design
+
+  [[nodiscard]] bool ok() const { return error_ == errc::ok; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] errc error() const { return error_; }
+
+ private:
+  errc error_ = errc::ok;
+};
+
+using status = result<void>;
+
+}  // namespace nk

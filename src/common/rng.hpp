@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation (xoshiro256**), seeded via
+// splitmix64. Every stochastic element of a simulation draws from an rng
+// owned by that simulation, so runs are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace nk {
+
+class rng {
+ public:
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace nk

@@ -1,0 +1,70 @@
+// Lightweight statistics helpers for experiment harnesses: running moments,
+// percentile estimation over retained samples, and time-series rate meters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace nk {
+
+// Running mean / variance / extrema (Welford). O(1) memory.
+class running_stats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Retains all samples; exact percentiles. For experiment-scale sample counts.
+class sample_set {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  // p in [0, 100]; nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double min() const { return percentile(0); }
+  [[nodiscard]] double median() const { return percentile(50); }
+  [[nodiscard]] double max() const { return percentile(100); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Counts bytes over simulated time and reports average goodput.
+class rate_meter {
+ public:
+  void start(sim_time now) { start_ = now; }
+  void add_bytes(std::uint64_t n) { bytes_ += n; }
+
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+  [[nodiscard]] data_rate average(sim_time now) const {
+    return rate_of(bytes_, now - start_);
+  }
+
+ private:
+  sim_time start_ = sim_time::zero();
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace nk

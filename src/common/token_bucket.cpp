@@ -1,0 +1,41 @@
+#include "common/token_bucket.hpp"
+
+#include <algorithm>
+
+namespace nk {
+
+token_bucket::token_bucket(data_rate rate, std::uint64_t burst_bytes)
+    : rate_{rate}, burst_{burst_bytes}, tokens_{static_cast<double>(burst_bytes)} {}
+
+void token_bucket::refill(sim_time now) {
+  if (now <= last_) return;
+  tokens_ = std::min(static_cast<double>(burst_),
+                     tokens_ + rate_.bytes_in(now - last_));
+  last_ = now;
+}
+
+bool token_bucket::try_consume(sim_time now, std::uint64_t bytes) {
+  refill(now);
+  const auto need = static_cast<double>(bytes);
+  if (tokens_ + 1e-9 < need) return false;
+  tokens_ -= need;
+  return true;
+}
+
+sim_time token_bucket::next_available(sim_time now, std::uint64_t bytes) const {
+  token_bucket probe = *this;
+  probe.refill(now);
+  const double deficit = static_cast<double>(bytes) - probe.tokens_;
+  if (deficit <= 0.0) return now;
+  if (rate_.is_zero()) return sim_time::max();
+  const double wait_s = deficit / rate_.bytes_per_sec();
+  return now + sim_time{static_cast<std::int64_t>(wait_s * 1e9 + 1)};
+}
+
+double token_bucket::tokens_at(sim_time now) const {
+  token_bucket probe = *this;
+  probe.refill(now);
+  return probe.tokens_;
+}
+
+}  // namespace nk

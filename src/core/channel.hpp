@@ -1,0 +1,44 @@
+// The shared-memory plumbing between one tenant VM and its NSM (Figure 3):
+// a queue triple on the VM side (VM <-> CoreEngine), a queue triple on the
+// NSM side (CoreEngine <-> ServiceLib), and the uniquely-keyed huge-page
+// pool both endpoints copy payload through. CoreEngine owns the channel and
+// is the only component that touches both sides.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "shm/hugepage_pool.hpp"
+#include "shm/queue_set.hpp"
+#include "virt/machine.hpp"
+
+namespace nk::core {
+
+using nsm_id = std::uint16_t;
+
+struct channel_config {
+  shm::queue_config queues{};
+  shm::hugepage_config hugepages{};
+};
+
+struct channel {
+  channel(virt::vm_id vm, nsm_id nsm, std::uint32_t region_key,
+          const channel_config& cfg)
+      : vm_id{vm},
+        nsm{nsm},
+        vm_q{cfg.queues},
+        nsm_q{cfg.queues},
+        pool{region_key, cfg.hugepages} {}
+
+  virt::vm_id vm_id;
+  nsm_id nsm;
+  shm::endpoint_queues vm_q;   // GuestLib <-> CoreEngine
+  shm::endpoint_queues nsm_q;  // CoreEngine <-> ServiceLib
+  shm::hugepage_pool pool;     // payload region, unique key per pair
+
+  // Lifetime nqe counters (channel-level accounting).
+  std::uint64_t nqes_vm_to_nsm = 0;
+  std::uint64_t nqes_nsm_to_vm = 0;
+};
+
+}  // namespace nk::core

@@ -1,0 +1,297 @@
+#include "core/core_engine.hpp"
+
+#include "core/guest_lib.hpp"
+
+namespace nk::core {
+
+namespace {
+constexpr std::size_t drain_batch = 64;
+}
+
+core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
+    : host_{host},
+      sim_{host.simulator()},
+      cfg_{cfg},
+      core_{host.allocate_core()} {}
+
+core_engine::~core_engine() = default;
+
+nsm& core_engine::create_nsm(const nsm_config& cfg) {
+  auto module = std::make_unique<nsm>(host_, next_nsm_id_++, cfg);
+  nsm& ref = *module;
+  auto service = std::make_unique<service_lib>(ref, sim_, cfg_.costs,
+                                               cfg_.notification);
+  service->set_sla_manager(&sla_);
+  service->start();
+  services_[ref.id()] = std::move(service);
+  nsms_.push_back(std::move(module));
+  return ref;
+}
+
+nsm* core_engine::nsm_by_id(nsm_id id) {
+  for (auto& m : nsms_) {
+    if (m->id() == id) return m.get();
+  }
+  return nullptr;
+}
+
+service_lib* core_engine::service_of(nsm_id id) {
+  auto it = services_.find(id);
+  return it == services_.end() ? nullptr : it->second.get();
+}
+
+guest_lib* core_engine::guestlib_of(virt::vm_id vm) {
+  auto it = attachments_.find(vm);
+  return it == attachments_.end() ? nullptr : it->second.glib.get();
+}
+
+channel* core_engine::channel_of(virt::vm_id vm) {
+  auto it = attachments_.find(vm);
+  return it == attachments_.end() ? nullptr : it->second.ch.get();
+}
+
+std::vector<virt::vm_id> core_engine::attached_vms() const {
+  std::vector<virt::vm_id> out;
+  out.reserve(attachments_.size());
+  for (const auto& [vm, att] : attachments_) out.push_back(vm);
+  return out;
+}
+
+guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
+  attachment att;
+  att.vm = &vm;
+  att.module = &module;
+  att.ch = std::make_unique<channel>(vm.id(), module.id(),
+                                     host_.next_region_key(), cfg_.channel);
+
+  channel* ch = att.ch.get();
+  att.vm_to_nsm = std::make_unique<queue_pump>(
+      sim_, cfg_.notification, [this, id = vm.id()]() -> std::size_t {
+        auto it = attachments_.find(id);
+        return it == attachments_.end() ? 0 : drain_vm_jobs(it->second);
+      });
+  att.nsm_to_vm = std::make_unique<queue_pump>(
+      sim_, cfg_.notification, [this, id = vm.id()]() -> std::size_t {
+        auto it = attachments_.find(id);
+        return it == attachments_.end() ? 0 : drain_nsm_queues(it->second);
+      });
+
+  service_lib* service = services_.at(module.id()).get();
+  service->attach_channel(*ch, [this, id = vm.id()] {
+    if (auto it = attachments_.find(id); it != attachments_.end()) {
+      it->second.nsm_to_vm->notify();
+    }
+  });
+
+  att.glib = std::make_unique<guest_lib>(vm, *ch, *this, cfg_.costs,
+                                         cfg_.notification);
+
+  att.vm_to_nsm->start();
+  att.nsm_to_vm->start();
+
+  auto [it, inserted] = attachments_.emplace(vm.id(), std::move(att));
+  return *it->second.glib;
+}
+
+void core_engine::notify_from_vm(virt::vm_id vm) {
+  if (auto it = attachments_.find(vm); it != attachments_.end()) {
+    it->second.vm_to_nsm->notify();
+  }
+}
+
+// --- VM -> NSM direction ---------------------------------------------------------
+
+std::size_t core_engine::drain_vm_jobs(attachment& att) {
+  shm::nqe e;
+  std::size_t n = 0;
+  while (n < drain_batch && att.ch->vm_q.job.pop(e)) {
+    ++n;
+    ++att.ch->nqes_vm_to_nsm;
+    // The copy between queue sets costs ~12 ns on the CoreEngine core
+    // (paper §4.2); translation happens in FIFO order on that core.
+    if (core_ != nullptr) {
+      core_->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), e] {
+        if (auto it = attachments_.find(id); it != attachments_.end()) {
+          forward_to_nsm(it->second, e);
+        }
+      });
+    } else {
+      forward_to_nsm(att, e);
+    }
+  }
+  return n;
+}
+
+void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
+  ++stats_.nqes_forwarded;
+  const virt::vm_id vm = att.vm->id();
+
+  if (e.op == shm::nqe_op::req_socket || e.op == shm::nqe_op::req_udp_open) {
+    // New flow: install a mapping that learns its cID from cmp_socket.
+    const auto fd = static_cast<std::uint32_t>(e.token);
+    flow_entry fl;
+    fl.nsm = att.module->id();
+    by_flow_[flow_key{vm, fd}] = std::move(fl);
+    ++stats_.mappings_installed;
+    deliver_to_nsm(att, e);
+    return;
+  }
+
+  const auto fd = e.handle;
+  auto it = by_flow_.find(flow_key{vm, fd});
+  if (it == by_flow_.end()) {
+    ++stats_.unroutable_nqes;
+    // A data-bearing request for an unknown flow still owns a huge-page
+    // chunk; recycle it or the pool leaks.
+    if ((e.op == shm::nqe_op::req_send ||
+         e.op == shm::nqe_op::req_udp_send ||
+         e.op == shm::nqe_op::req_recv_window) &&
+        !e.desc.empty()) {
+      (void)att.ch->pool.free(e.desc.chunk);
+    }
+    shm::nqe err;
+    err.op = shm::nqe_op::ev_error;
+    err.handle = fd;
+    err.status = -static_cast<std::int32_t>(errc::not_found);
+    forward_to_vm(att, err, true);
+    return;
+  }
+
+  if (!it->second.cid_known) {
+    // The NSM has not assigned a cID yet; hold the op (FIFO per flow).
+    it->second.pending.push_back(e);
+    return;
+  }
+
+  e.handle = it->second.cid;
+  const bool closing = e.op == shm::nqe_op::req_close;
+  deliver_to_nsm(att, e);
+  if (closing) {
+    by_nsm_.erase(nsm_key{it->second.nsm, it->second.cid});
+    by_flow_.erase(it);
+    ++stats_.mappings_removed;
+  }
+}
+
+void core_engine::deliver_to_nsm(attachment& att, const shm::nqe& e) {
+  (void)att.ch->nsm_q.job.push(e);
+  if (auto* service = service_of(att.module->id())) service->notify();
+}
+
+// --- NSM -> VM direction -----------------------------------------------------------
+
+std::size_t core_engine::drain_nsm_queues(attachment& att) {
+  shm::nqe e;
+  std::size_t n = 0;
+  // Completions first, then events; the CE core keeps this order downstream.
+  while (n < drain_batch && att.ch->nsm_q.completion.pop(e)) {
+    ++n;
+    if (core_ != nullptr) {
+      core_->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), e] {
+        if (auto it = attachments_.find(id); it != attachments_.end()) {
+          forward_to_vm(it->second, e, false);
+        }
+      });
+    } else {
+      forward_to_vm(att, e, false);
+    }
+  }
+  while (n < drain_batch && att.ch->nsm_q.receive.pop(e)) {
+    ++n;
+    if (core_ != nullptr) {
+      core_->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), e] {
+        if (auto it = attachments_.find(id); it != attachments_.end()) {
+          forward_to_vm(it->second, e, true);
+        }
+      });
+    } else {
+      forward_to_vm(att, e, true);
+    }
+  }
+  return n;
+}
+
+void core_engine::forward_to_vm(attachment& att, shm::nqe e,
+                                bool receive_queue) {
+  ++stats_.nqes_forwarded;
+  const virt::vm_id vm = att.vm->id();
+  const nsm_id module = att.module->id();
+
+  switch (e.op) {
+    case shm::nqe_op::cmp_socket: {
+      // Learn the <VM,fd> <-> <NSM,cID> mapping and release held ops.
+      const auto fd = static_cast<std::uint32_t>(e.token);
+      auto it = by_flow_.find(flow_key{vm, fd});
+      if (it != by_flow_.end()) {
+        it->second.cid = e.handle;
+        it->second.cid_known = true;
+        by_nsm_[nsm_key{module, e.handle}] = flow_key{vm, fd};
+        auto held = std::move(it->second.pending);
+        it->second.pending.clear();
+        bool closed = false;
+        for (auto& op : held) {
+          op.handle = it->second.cid;
+          closed = closed || op.op == shm::nqe_op::req_close;
+          deliver_to_nsm(att, op);
+        }
+        if (closed) {
+          by_nsm_.erase(nsm_key{module, it->second.cid});
+          by_flow_.erase(it);
+          ++stats_.mappings_removed;
+        }
+      }
+      e.handle = fd;
+      break;
+    }
+    case shm::nqe_op::ev_accept: {
+      // handle = listener cID, arg0 = new connection cID. Mint a VM fd for
+      // the new flow and register it (paper §3.2 accept path).
+      auto lit = by_nsm_.find(nsm_key{module, e.handle});
+      if (lit == by_nsm_.end()) {
+        ++stats_.unroutable_nqes;
+        return;
+      }
+      const std::uint32_t new_fd = att.next_accept_fd++;
+      const auto new_cid = static_cast<std::uint32_t>(e.arg0);
+      flow_entry fl;
+      fl.nsm = module;
+      fl.cid = new_cid;
+      fl.cid_known = true;
+      by_flow_[flow_key{vm, new_fd}] = std::move(fl);
+      by_nsm_[nsm_key{module, new_cid}] = flow_key{vm, new_fd};
+      ++stats_.accept_fds_minted;
+      ++stats_.mappings_installed;
+      e.handle = lit->second.fd;  // listener fd
+      e.arg0 = new_fd;
+      break;
+    }
+    default: {
+      auto it = by_nsm_.find(nsm_key{module, e.handle});
+      if (it == by_nsm_.end()) {
+        ++stats_.unroutable_nqes;
+        // Data events for an already-closed flow carry chunks; recycle.
+        if ((e.op == shm::nqe_op::ev_data ||
+             e.op == shm::nqe_op::ev_udp_data) &&
+            !e.desc.empty()) {
+          (void)att.ch->pool.free(e.desc.chunk);
+        }
+        return;
+      }
+      const std::uint32_t fd = it->second.fd;
+      if (e.op == shm::nqe_op::ev_error) {
+        by_flow_.erase(it->second);
+        by_nsm_.erase(it);
+        ++stats_.mappings_removed;
+      }
+      e.handle = fd;
+      break;
+    }
+  }
+
+  auto& queue = receive_queue ? att.ch->vm_q.receive : att.ch->vm_q.completion;
+  (void)queue.push(e);
+  ++att.ch->nqes_nsm_to_vm;
+  if (att.glib) att.glib->notify();
+}
+
+}  // namespace nk::core

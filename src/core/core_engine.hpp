@@ -1,0 +1,149 @@
+// NetKernel CoreEngine: the hypervisor daemon at the center of Figure 3.
+//
+// Responsibilities (paper §3.1-3.2):
+//   * NSM lifecycle — creates NSMs and attaches tenant VMs to them when
+//     they boot (including many-VMs-to-one-NSM multiplexing and
+//     scale-out across several NSMs);
+//   * shuttles nqes between the VM-side and NSM-side queue sets, charging
+//     ~12 ns per copied event to its own core;
+//   * maintains the connection mapping table <VM ID, fd> <-> <NSM ID, cID>
+//     and rewrites identifiers as nqes cross the boundary;
+//   * mints fds for passively accepted connections on behalf of the VM.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "core/costs.hpp"
+#include "core/notification.hpp"
+#include "core/nsm.hpp"
+#include "core/service_lib.hpp"
+#include "core/sla.hpp"
+#include "virt/hypervisor.hpp"
+
+namespace nk::core {
+
+struct core_engine_config {
+  netkernel_costs costs{};
+  notify_config notification{};  // used for every pump in the system
+  channel_config channel{};
+};
+
+struct core_engine_stats {
+  std::uint64_t nqes_forwarded = 0;       // both directions
+  std::uint64_t accept_fds_minted = 0;
+  std::uint64_t mappings_installed = 0;
+  std::uint64_t mappings_removed = 0;
+  std::uint64_t unroutable_nqes = 0;
+};
+
+class guest_lib;
+
+class core_engine {
+ public:
+  core_engine(virt::hypervisor& host, const core_engine_config& cfg = {});
+  ~core_engine();
+
+  core_engine(const core_engine&) = delete;
+  core_engine& operator=(const core_engine&) = delete;
+
+  // --- lifecycle -------------------------------------------------------------
+
+  // Boots an NSM (allocating its cores from the host pool).
+  nsm& create_nsm(const nsm_config& cfg);
+
+  // Attaches a VM to an NSM: allocates the shared-memory channel, starts
+  // the pumps, and returns the GuestLib endpoint for the VM's applications.
+  // Several VMs may attach to the same NSM (multiplexing, §2.1).
+  guest_lib& attach_vm(virt::machine& vm, nsm& module);
+
+  [[nodiscard]] nsm* nsm_by_id(nsm_id id);
+  [[nodiscard]] service_lib* service_of(nsm_id id);
+  [[nodiscard]] guest_lib* guestlib_of(virt::vm_id vm);
+  [[nodiscard]] channel* channel_of(virt::vm_id vm);
+  [[nodiscard]] const std::vector<std::unique_ptr<nsm>>& nsms() const {
+    return nsms_;
+  }
+  [[nodiscard]] std::vector<virt::vm_id> attached_vms() const;
+
+  [[nodiscard]] sim::simulator& simulator() { return sim_; }
+  [[nodiscard]] sla_manager& sla() { return sla_; }
+  [[nodiscard]] const core_engine_stats& stats() const { return stats_; }
+  [[nodiscard]] const core_engine_config& config() const { return cfg_; }
+  [[nodiscard]] sim::cpu_core* engine_core() { return core_; }
+
+  // --- used by GuestLib --------------------------------------------------------
+
+  // Doorbell: the VM pushed into its job queue.
+  void notify_from_vm(virt::vm_id vm);
+
+ private:
+  struct flow_key {
+    virt::vm_id vm;
+    std::uint32_t fd;
+    friend bool operator==(const flow_key&, const flow_key&) = default;
+  };
+  struct flow_key_hash {
+    std::size_t operator()(const flow_key& k) const {
+      return std::hash<std::uint64_t>{}((std::uint64_t{k.vm} << 32) | k.fd);
+    }
+  };
+  struct nsm_key {
+    nsm_id id;
+    std::uint32_t cid;
+    friend bool operator==(const nsm_key&, const nsm_key&) = default;
+  };
+  struct nsm_key_hash {
+    std::size_t operator()(const nsm_key& k) const {
+      return std::hash<std::uint64_t>{}((std::uint64_t{k.id} << 32) | k.cid);
+    }
+  };
+  struct flow_entry {
+    nsm_id nsm = 0;
+    std::uint32_t cid = 0;
+    bool cid_known = false;
+    std::deque<shm::nqe> pending;  // ops queued until the cid arrives
+  };
+  struct attachment {
+    virt::machine* vm = nullptr;
+    nsm* module = nullptr;
+    std::unique_ptr<channel> ch;
+    std::unique_ptr<guest_lib> glib;
+    std::unique_ptr<queue_pump> vm_to_nsm;  // drains ch->vm_q.job
+    std::unique_ptr<queue_pump> nsm_to_vm;  // drains ch->nsm_q.{completion,receive}
+    std::uint32_t next_accept_fd = 0x80000000;  // CE-minted fds for accepts
+  };
+
+  std::size_t drain_vm_jobs(attachment& att);
+  std::size_t drain_nsm_queues(attachment& att);
+  void forward_to_nsm(attachment& att, shm::nqe e);
+  void forward_to_vm(attachment& att, shm::nqe e, bool receive_queue);
+  void deliver_to_nsm(attachment& att, const shm::nqe& e);
+  [[nodiscard]] std::uint64_t make_token(virt::vm_id vm, std::uint32_t fd) const {
+    return (std::uint64_t{vm} << 32) | fd;
+  }
+
+  virt::hypervisor& host_;
+  sim::simulator& sim_;
+  core_engine_config cfg_;
+  sim::cpu_core* core_;
+
+  std::vector<std::unique_ptr<nsm>> nsms_;
+  std::unordered_map<nsm_id, std::unique_ptr<service_lib>> services_;
+  std::unordered_map<virt::vm_id, attachment> attachments_;
+  nsm_id next_nsm_id_ = 1;
+
+  // The connection mapping table (Figure 3).
+  std::unordered_map<flow_key, flow_entry, flow_key_hash> by_flow_;
+  std::unordered_map<nsm_key, flow_key, nsm_key_hash> by_nsm_;
+
+  sla_manager sla_;
+  core_engine_stats stats_;
+};
+
+}  // namespace nk::core

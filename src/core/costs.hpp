@@ -1,0 +1,40 @@
+// Calibrated cost model for NetKernel's shared-memory data path.
+//
+// The discrete-event experiments charge these costs to simulated cores; the
+// values are calibrated against the paper's microbenchmarks and reproduced
+// for real by bench/table1_memcpy_latency and bench/nqe_copy on this
+// repository's own ring/pool code:
+//
+//   * nqe copy through CoreEngine: ~12 ns/event (paper §4.2)
+//   * chunk memcpy GuestLib<->huge pages: 8 ns @64 B ... 809 ns @8 KB
+//     (paper Table 1), i.e. ~0.0985 ns/byte with a small fixed cost.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace nk::core {
+
+struct netkernel_costs {
+  // CoreEngine copying one nqe between VM-side and NSM-side queues.
+  sim_time nqe_copy = nanoseconds(12);
+
+  // Chunk copy between an application buffer and the huge pages.
+  sim_time memcpy_base = nanoseconds(2);
+  double memcpy_ns_per_byte = 0.0985;
+
+  // Socket-API interception overhead in GuestLib (per operation).
+  sim_time guestlib_per_op = nanoseconds(50);
+
+  // ServiceLib dispatch of one operation into the stack backend.
+  sim_time servicelib_per_op = nanoseconds(40);
+
+  [[nodiscard]] sim_time memcpy_cost(std::uint64_t bytes) const {
+    return memcpy_base +
+           sim_time{static_cast<std::int64_t>(
+               memcpy_ns_per_byte * static_cast<double>(bytes))};
+  }
+};
+
+}  // namespace nk::core

@@ -1,0 +1,188 @@
+// GuestLib: the tenant-VM half of NetKernel (paper §3.1-3.2, §4.1).
+//
+// Intercepts the socket API inside the guest (the prototype LD_PRELOADs
+// glibc; here the nk_* methods are that interposition layer), converts
+// every call into nqes on the VM-side job queue, and copies payload through
+// the shared huge pages. Completions and events come back on the VM-side
+// completion/receive queues. Operations are asynchronous exactly as in
+// §3.2: calls return immediately and results surface through events — plus
+// the epoll-style API the prototype deferred to future work (§4.1).
+//
+// Deviation from the paper, documented in DESIGN.md: fds are minted locally
+// by GuestLib (CoreEngine mints only accept-side fds) so that nk_socket()
+// can return without a round trip; in the prototype the same value is
+// produced by CoreEngine and the call blocks on the completion queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "core/channel.hpp"
+#include "core/costs.hpp"
+#include "core/notification.hpp"
+#include "stack/netstack.hpp"
+#include "virt/machine.hpp"
+
+namespace nk::core {
+
+class core_engine;
+
+// Socket options understood by req_setsockopt (ServiceLib side).
+enum class nk_option : std::uint64_t {
+  congestion_control = 1,  // value: tcp::cc_algorithm
+  recv_buffer = 2,
+  send_buffer = 3,
+  nagle = 4,
+};
+
+struct guest_lib_stats {
+  std::uint64_t ops_issued = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t send_blocked = 0;  // credit or chunk exhaustion
+  std::uint64_t events_delivered = 0;
+};
+
+struct guest_lib_config {
+  std::uint64_t send_credit = 1024 * 1024;  // outstanding bytes per socket
+};
+
+class guest_lib {
+ public:
+  guest_lib(virt::machine& vm, channel& ch, core_engine& engine,
+            const netkernel_costs& costs, const notify_config& ncfg,
+            const guest_lib_config& cfg = {});
+  ~guest_lib();
+
+  guest_lib(const guest_lib&) = delete;
+  guest_lib& operator=(const guest_lib&) = delete;
+
+  // --- the intercepted socket API ----------------------------------------------
+
+  [[nodiscard]] result<std::uint32_t> nk_socket();
+  status nk_bind(std::uint32_t fd, std::uint16_t port);
+  status nk_listen(std::uint32_t fd, int backlog = 128);
+  status nk_connect(std::uint32_t fd, net::socket_addr remote);
+  [[nodiscard]] result<std::uint32_t> nk_accept(std::uint32_t listener_fd);
+  [[nodiscard]] result<std::size_t> nk_send(std::uint32_t fd, buffer data);
+  [[nodiscard]] result<buffer> nk_recv(std::uint32_t fd, std::size_t max);
+  status nk_setsockopt(std::uint32_t fd, nk_option opt, std::uint64_t value);
+  status nk_shutdown(std::uint32_t fd);
+  status nk_close(std::uint32_t fd);
+
+  // --- UDP (datagram service through the same NSM) --------------------------------
+
+  [[nodiscard]] result<std::uint32_t> nk_udp_open(std::uint16_t port = 0);
+  [[nodiscard]] result<std::size_t> nk_udp_send_to(std::uint32_t fd,
+                                                   net::socket_addr dest,
+                                                   buffer data);
+  [[nodiscard]] result<std::pair<net::socket_addr, buffer>> nk_udp_recv_from(
+      std::uint32_t fd);
+
+  [[nodiscard]] std::size_t recv_available(std::uint32_t fd) const;
+  [[nodiscard]] std::size_t send_credit_available(std::uint32_t fd) const;
+  [[nodiscard]] bool eof(std::uint32_t fd) const;
+
+  // --- events -----------------------------------------------------------------
+
+  using event_handler = std::function<void(
+      std::uint32_t fd, stack::socket_event_type type, errc error)>;
+  void set_event_handler(event_handler handler) {
+    handler_ = std::move(handler);
+  }
+
+  // --- epoll-style multiplexing (extension beyond the prototype) -----------------
+
+  struct epoll_event_out {
+    std::uint32_t fd = 0;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+  [[nodiscard]] result<std::uint32_t> nk_epoll_create();
+  status nk_epoll_add(std::uint32_t epfd, std::uint32_t fd);
+  status nk_epoll_del(std::uint32_t epfd, std::uint32_t fd);
+  // Poll semantics (a DES cannot block): returns the currently-ready set.
+  [[nodiscard]] std::vector<epoll_event_out> nk_epoll_wait(
+      std::uint32_t epfd, std::size_t max = 64);
+
+  // --- plumbing ----------------------------------------------------------------
+
+  // Doorbell from CoreEngine: completions/events await in the VM queues.
+  void notify() { pump_->notify(); }
+
+  [[nodiscard]] const guest_lib_stats& stats() const { return stats_; }
+  [[nodiscard]] virt::machine& vm() { return vm_; }
+
+ private:
+  enum class phase {
+    fresh,
+    bound,
+    listening,
+    connecting,
+    connected,
+    closed,
+    failed,
+  };
+
+  struct rx_item {
+    shm::data_descriptor desc{};
+    std::uint32_t consumed = 0;
+  };
+
+  struct udp_rx_item {
+    shm::data_descriptor desc{};
+    net::socket_addr from{};
+  };
+
+  struct g_socket {
+    phase ph = phase::fresh;
+    std::uint16_t port = 0;
+    std::deque<std::uint32_t> accept_q;
+    std::deque<rx_item> rx;
+    std::deque<udp_rx_item> udp_rx;
+    bool udp = false;
+    std::size_t rx_bytes = 0;
+    std::uint64_t inflight = 0;  // submitted to NSM, not yet credited back
+    bool eof = false;
+    bool closed_reported = false;
+    errc err = errc::ok;
+    sim::cpu_core* core = nullptr;
+    bool writable_blocked = false;
+  };
+
+  std::size_t drain();  // pump callback: completion + receive queues
+  void handle_nqe(const shm::nqe& e);
+  void submit(const g_socket& gs, shm::nqe e, sim_time extra_cost);
+  void emit_event(std::uint32_t fd, stack::socket_event_type type,
+                  errc error = errc::ok);
+  [[nodiscard]] g_socket* socket_of(std::uint32_t fd);
+  [[nodiscard]] const g_socket* socket_of(std::uint32_t fd) const;
+  [[nodiscard]] sim::cpu_core* pick_core();
+
+  virt::machine& vm_;
+  channel& ch_;
+  core_engine& engine_;
+  netkernel_costs costs_;
+  guest_lib_config cfg_;
+  std::unique_ptr<queue_pump> pump_;
+
+  std::unordered_map<std::uint32_t, g_socket> sockets_;
+  std::uint32_t next_fd_ = 3;
+  std::size_t next_core_ = 0;
+
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> epolls_;
+  std::uint32_t next_epfd_ = 0x40000000;
+
+  event_handler handler_;
+  guest_lib_stats stats_;
+};
+
+}  // namespace nk::core

@@ -1,0 +1,135 @@
+#include "core/monitor.hpp"
+
+#include <sstream>
+
+namespace nk::core {
+
+health_monitor::health_monitor(core_engine& engine, const monitor_config& cfg)
+    : engine_{engine}, cfg_{cfg} {}
+
+void health_monitor::start() {
+  if (running_) return;
+  running_ = true;
+  timer_ = engine_.simulator().schedule(cfg_.interval, [this] { tick(); });
+}
+
+void health_monitor::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+const std::deque<nsm_sample>& health_monitor::history_of(nsm_id id) const {
+  static const std::deque<nsm_sample> empty;
+  auto it = history_.find(id);
+  return it == history_.end() ? empty : it->second;
+}
+
+void health_monitor::tick() {
+  if (!running_) return;
+  ++ticks_;
+  for (const auto& module : engine_.nsms()) sample_nsm(*module);
+  check_channels();
+  timer_ = engine_.simulator().schedule(cfg_.interval, [this] { tick(); });
+}
+
+void health_monitor::sample_nsm(nsm& module) {
+  nsm_sample s;
+  s.at = engine_.simulator().now();
+  double util = 0.0;
+  int cores = 0;
+  for (auto* core : module.cores()) {
+    if (core != nullptr) {
+      util += core->utilization();
+      ++cores;
+    }
+  }
+  s.utilization = cores > 0 ? util / cores : 0.0;
+  s.tx_packets = module.stack().stats().tx_packets;
+  s.rx_packets = module.stack().stats().rx_packets;
+
+  auto& hist = history_[module.id()];
+  hist.push_back(s);
+  while (hist.size() > cfg_.history) hist.pop_front();
+
+  int& streak = hot_streak_[module.id()];
+  if (s.utilization >= cfg_.overload_threshold) {
+    if (++streak == cfg_.overload_consecutive) {
+      alert a;
+      a.kind = alert_kind::nsm_overloaded;
+      a.at = s.at;
+      a.module = module.id();
+      a.detail = module.name() + " mean core utilization " +
+                 std::to_string(s.utilization);
+      alerts_.push_back(a);
+      if (handler_) handler_(a);
+      streak = 0;  // re-alert only after another full streak
+    }
+  } else {
+    streak = 0;
+  }
+}
+
+void health_monitor::check_channels() {
+  for (const virt::vm_id vm : engine_.attached_vms()) {
+    channel* ch = engine_.channel_of(vm);
+    if (ch == nullptr) continue;
+    auto& watch = channels_[vm];
+    const std::uint64_t forwarded = ch->nqes_vm_to_nsm + ch->nqes_nsm_to_vm;
+    const bool queued = !ch->vm_q.job.empty_approx() ||
+                        !ch->nsm_q.job.empty_approx();
+    if (queued && forwarded == watch.last_forwarded) {
+      if (++watch.stalled_streak == cfg_.stall_consecutive) {
+        alert a;
+        a.kind = alert_kind::channel_stalled;
+        a.at = engine_.simulator().now();
+        a.module = ch->nsm;
+        a.vm = vm;
+        a.detail = "channel of vm " + std::to_string(vm) +
+                   " has queued nqes but no forward progress";
+        alerts_.push_back(a);
+        if (handler_) handler_(a);
+        watch.stalled_streak = 0;
+      }
+    } else {
+      watch.stalled_streak = 0;
+    }
+    watch.last_forwarded = forwarded;
+  }
+}
+
+std::string health_monitor::report() const {
+  std::ostringstream os;
+  for (const auto& module : engine_.nsms()) {
+    const auto& hist = history_of(module->id());
+    os << module->name() << ": ";
+    if (hist.empty()) {
+      os << "no samples";
+    } else {
+      os << "util=" << hist.back().utilization
+         << " tx=" << hist.back().tx_packets
+         << " rx=" << hist.back().rx_packets << " samples=" << hist.size();
+    }
+    os << '\n';
+  }
+  os << "alerts=" << alerts_.size() << '\n';
+  return os.str();
+}
+
+autoscaler::autoscaler(core_engine& engine, virt::hypervisor& host,
+                       health_monitor& monitor, int max_cores)
+    : engine_{engine}, host_{host}, max_cores_{max_cores} {
+  monitor.set_alert_handler([this](const alert& a) {
+    if (a.kind != alert_kind::nsm_overloaded) return;
+    nsm* module = engine_.nsm_by_id(a.module);
+    if (module == nullptr ||
+        static_cast<int>(module->cores().size()) >= max_cores_) {
+      return;
+    }
+    if (auto* core = host_.allocate_core()) {
+      module->scale_up(core);
+      ++scale_ups_;
+    }
+  });
+}
+
+}  // namespace nk::core

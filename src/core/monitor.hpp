@@ -1,0 +1,111 @@
+// Centralized management and control (paper §5): "Since the network stack
+// is maintained by the provider, management protocols such as failure
+// detection and monitoring can be deployed readily."
+//
+// health_monitor samples every NSM the CoreEngine operates — core
+// utilization, stack packet counters, per-channel queue depth and forward
+// progress — raising alerts for overloaded NSMs and stalled channels
+// (Pingmesh/Trumpet-style, but provider-side and for free).
+//
+// autoscaler consumes the overload signal and performs §2.1's "dynamically
+// scale up the network stack module with more dedicated cores".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/core_engine.hpp"
+
+namespace nk::core {
+
+struct nsm_sample {
+  sim_time at{};
+  double utilization = 0.0;          // mean across the NSM's cores
+  std::uint64_t tx_packets = 0;      // cumulative stack counters
+  std::uint64_t rx_packets = 0;
+};
+
+enum class alert_kind { nsm_overloaded, channel_stalled };
+
+struct alert {
+  alert_kind kind{};
+  sim_time at{};
+  nsm_id module = 0;
+  virt::vm_id vm = 0;  // set for channel_stalled
+  std::string detail;
+};
+
+struct monitor_config {
+  sim_time interval = milliseconds(10);
+  double overload_threshold = 0.9;   // mean core utilization
+  int overload_consecutive = 3;      // ticks above threshold before alerting
+  int stall_consecutive = 3;         // ticks of queued-but-no-progress
+  std::size_t history = 256;         // retained samples per NSM
+};
+
+class health_monitor {
+ public:
+  health_monitor(core_engine& engine, const monitor_config& cfg = {});
+
+  health_monitor(const health_monitor&) = delete;
+  health_monitor& operator=(const health_monitor&) = delete;
+  ~health_monitor() { stop(); }
+
+  void start();
+  void stop();
+
+  using alert_handler = std::function<void(const alert&)>;
+  void set_alert_handler(alert_handler handler) {
+    handler_ = std::move(handler);
+  }
+
+  [[nodiscard]] const std::deque<nsm_sample>& history_of(nsm_id id) const;
+  [[nodiscard]] const std::vector<alert>& alerts() const { return alerts_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+  // Human-readable one-line status per NSM.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  void tick();
+  void sample_nsm(nsm& module);
+  void check_channels();
+
+  core_engine& engine_;
+  monitor_config cfg_;
+  sim::timer timer_;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+
+  std::unordered_map<nsm_id, std::deque<nsm_sample>> history_;
+  std::unordered_map<nsm_id, int> hot_streak_;
+  struct channel_watch {
+    std::uint64_t last_forwarded = 0;
+    int stalled_streak = 0;
+  };
+  std::unordered_map<virt::vm_id, channel_watch> channels_;
+  std::vector<alert> alerts_;
+  alert_handler handler_;
+};
+
+// Scale-up policy: when an NSM stays overloaded, grant it another core
+// from the host pool (up to `max_cores`).
+class autoscaler {
+ public:
+  autoscaler(core_engine& engine, virt::hypervisor& host,
+             health_monitor& monitor, int max_cores = 4);
+
+  [[nodiscard]] int scale_ups() const { return scale_ups_; }
+
+ private:
+  core_engine& engine_;
+  virt::hypervisor& host_;
+  int max_cores_;
+  int scale_ups_ = 0;
+};
+
+}  // namespace nk::core

@@ -1,0 +1,42 @@
+#include "core/nsm.hpp"
+
+namespace nk::core {
+
+nsm::nsm(virt::hypervisor& host, nsm_id id, const nsm_config& cfg)
+    : id_{id},
+      cfg_{cfg},
+      profile_{profile_of(cfg.form)},
+      vnic_{cfg.name + "/vnic"} {
+  cfg_.tcp.cc = cfg.cc;
+  ready_at_ = host.simulator().now() + profile_.startup_time;
+
+  for (int i = 0; i < cfg.cores; ++i) {
+    if (auto* core = host.allocate_core(); core != nullptr) {
+      cores_.push_back(core);
+    }
+  }
+
+  stack::netstack_config scfg;
+  scfg.name = cfg.name + "/stack";
+  scfg.tcp = cfg_.tcp;
+  scfg.tx_cost = cfg.tx_cost;
+  scfg.rx_cost = cfg.rx_cost;
+  // The form's per-packet overhead rides on both directions.
+  scfg.tx_cost.per_packet += profile_.per_packet_overhead;
+  scfg.rx_cost.per_packet += profile_.per_packet_overhead;
+
+  stack_ = std::make_unique<stack::netstack>(host.simulator(), scfg,
+                                             cfg.address);
+  stack_->bind_netdev(vnic_);
+  for (auto* core : cores_) stack_->add_core(*core);
+
+  host.attach_netdev(vnic_, cfg.address, cfg.sriov);
+}
+
+void nsm::scale_up(sim::cpu_core* extra) {
+  if (extra == nullptr) return;
+  cores_.push_back(extra);
+  stack_->add_core(*extra);
+}
+
+}  // namespace nk::core

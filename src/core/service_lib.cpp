@@ -1,0 +1,614 @@
+#include "core/service_lib.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nk::core {
+
+namespace {
+constexpr std::size_t drain_batch = 64;
+}
+
+service_lib::service_lib(nsm& owner, sim::simulator& s,
+                         const netkernel_costs& costs,
+                         const notify_config& ncfg)
+    : nsm_{owner}, sim_{s}, costs_{costs} {
+  pump_ = std::make_unique<queue_pump>(s, ncfg, [this] { return drain_jobs(); });
+}
+
+void service_lib::attach_channel(channel& ch, std::function<void()> notify_ce) {
+  served_vm svm;
+  svm.ch = &ch;
+  svm.notify_ce = std::move(notify_ce);
+  vms_[ch.vm_id] = std::move(svm);
+}
+
+void service_lib::fail() {
+  if (failed_) return;
+  failed_ = true;
+  pump_->stop();
+  // Abort every tenant socket and tell its VM. The stack itself stops
+  // responding (its connections RST on abort; new segments meet a dead
+  // module).
+  for (auto& [cid, ps] : sockets_) {
+    if (ps.ssock != 0) (void)nsm_.stack().abort(ps.ssock);
+    if (auto it = vms_.find(ps.vm); it != vms_.end()) {
+      shm::nqe out;
+      out.op = shm::nqe_op::ev_error;
+      out.handle = cid;
+      out.status = -static_cast<std::int32_t>(errc::connection_reset);
+      push_receive(it->second, out);
+    }
+  }
+  sockets_.clear();
+  by_ssock_.clear();
+}
+
+void service_lib::start() {
+  nsm_.stack().set_event_handler(
+      [this](const stack::socket_event& ev) { handle_stack_event(ev); });
+  pump_->start();
+}
+
+sim_time service_lib::op_cost() const {
+  return costs_.servicelib_per_op + nsm_.profile().per_op_overhead;
+}
+
+void service_lib::push_completion(served_vm& svm, shm::nqe e) {
+  e.owner = nsm_.id();
+  if (!svm.ch->nsm_q.completion.push(e)) return;  // full: dropped, caller retries
+  ++svm.ch->nqes_nsm_to_vm;
+  if (svm.notify_ce) svm.notify_ce();
+}
+
+void service_lib::push_receive(served_vm& svm, shm::nqe e) {
+  e.owner = nsm_.id();
+  if (!svm.ch->nsm_q.receive.push(e)) return;
+  ++svm.ch->nqes_nsm_to_vm;
+  if (svm.notify_ce) svm.notify_ce();
+}
+
+service_lib::proto_socket* service_lib::socket_by_cid(std::uint32_t cid) {
+  auto it = sockets_.find(cid);
+  return it == sockets_.end() ? nullptr : &it->second;
+}
+
+service_lib::proto_socket* service_lib::socket_by_ssock(stack::socket_id s) {
+  auto it = by_ssock_.find(s);
+  return it == by_ssock_.end() ? nullptr : socket_by_cid(it->second);
+}
+
+void service_lib::drop_socket(std::uint32_t cid) {
+  auto it = sockets_.find(cid);
+  if (it == sockets_.end()) return;
+  if (it->second.ssock != 0) by_ssock_.erase(it->second.ssock);
+  if (auto vit = vms_.find(it->second.vm); vit != vms_.end()) {
+    vit->second.stalled_reads.erase(cid);
+  }
+  if (sla_ != nullptr && !it->second.listener) {
+    sla_->on_connection_closed(it->second.vm);
+  }
+  sockets_.erase(it);
+}
+
+// --- job-queue drain -----------------------------------------------------------
+
+std::size_t service_lib::drain_jobs() {
+  // A real polling loop pops one operation, executes it, then pops the
+  // next: work waits in the *ring*, not in some infinite CPU backlog. Model
+  // that by stopping the drain once the core has a small amount of
+  // committed work — this is what makes prioritized rings effective
+  // (connection events can still bypass queued data events; nothing can
+  // bypass work already committed to the core).
+  constexpr sim_time backlog_bound = microseconds(3);
+  if (failed_) return 0;
+  std::size_t total = 0;
+  bool left_behind = false;
+  for (auto& [vm, svm] : vms_) {
+    shm::nqe e;
+    std::size_t n = 0;
+    auto* core = nsm_.core();
+    while (n < drain_batch) {
+      if (core != nullptr && core->backlog() > backlog_bound) {
+        left_behind = left_behind || !svm.ch->nsm_q.job.empty_approx();
+        break;
+      }
+      if (!svm.ch->nsm_q.job.pop(e)) break;
+      ++n;
+      // Charge the dispatch to the NSM core, then execute. FIFO execution
+      // on the core preserves per-socket operation order.
+      if (core != nullptr) {
+        core->execute(op_cost(), [this, vm_id = vm, e] {
+          if (auto it = vms_.find(vm_id); it != vms_.end()) {
+            handle_nqe(it->second, e);
+          }
+        });
+      } else {
+        handle_nqe(svm, e);
+      }
+    }
+    total += n;
+  }
+  // Under batched-interrupt notification there may be no further doorbell;
+  // re-drain once the committed work clears.
+  if (left_behind && !redrain_pending_) {
+    redrain_pending_ = true;
+    auto* core = nsm_.core();
+    const sim_time wait =
+        core != nullptr ? std::max(core->backlog(), microseconds(1))
+                        : microseconds(1);
+    sim_.schedule(wait, [this] {
+      redrain_pending_ = false;
+      (void)drain_jobs();
+    });
+  }
+  return total;
+}
+
+void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
+  ++stats_.ops_processed;
+  auto& stack = nsm_.stack();
+
+  switch (e.op) {
+    case shm::nqe_op::req_socket: {
+      const std::uint32_t cid = next_cid_++;
+      proto_socket ps;
+      ps.cid = cid;
+      ps.vm = svm.ch->vm_id;
+      ps.cfg = nsm_.config().tcp;
+      sockets_[cid] = std::move(ps);
+      shm::nqe out;
+      out.op = shm::nqe_op::cmp_socket;
+      out.handle = cid;
+      out.token = e.token;
+      push_completion(svm, out);
+      return;
+    }
+    case shm::nqe_op::req_setsockopt: {
+      auto* ps = socket_by_cid(e.handle);
+      shm::nqe out;
+      out.op = shm::nqe_op::cmp_generic;
+      out.handle = e.handle;
+      out.token = e.token;
+      out.arg_small = static_cast<std::uint32_t>(e.op);
+      if (ps == nullptr) {
+        out.status = -static_cast<std::int32_t>(errc::not_found);
+      } else if (e.arg0 == 1) {  // option 1: congestion control
+        ps->cfg.cc = static_cast<tcp::cc_algorithm>(e.arg1);
+      } else if (e.arg0 == 2) {  // option 2: receive buffer
+        ps->cfg.recv_buffer = e.arg1;
+      } else if (e.arg0 == 3) {  // option 3: send buffer
+        ps->cfg.send_buffer = e.arg1;
+      } else if (e.arg0 == 4) {  // option 4: nagle on/off
+        ps->cfg.nagle = e.arg1 != 0;
+      } else {
+        out.status = -static_cast<std::int32_t>(errc::not_supported);
+      }
+      push_completion(svm, out);
+      return;
+    }
+    case shm::nqe_op::req_bind: {
+      auto* ps = socket_by_cid(e.handle);
+      shm::nqe out;
+      out.op = shm::nqe_op::cmp_generic;
+      out.handle = e.handle;
+      out.token = e.token;
+      out.arg_small = static_cast<std::uint32_t>(e.op);
+      if (ps == nullptr) {
+        out.status = -static_cast<std::int32_t>(errc::not_found);
+      } else {
+        ps->bound_port = static_cast<std::uint16_t>(e.arg0);
+      }
+      push_completion(svm, out);
+      return;
+    }
+    case shm::nqe_op::req_listen: {
+      auto* ps = socket_by_cid(e.handle);
+      shm::nqe out;
+      out.op = shm::nqe_op::cmp_generic;
+      out.handle = e.handle;
+      out.token = e.token;
+      out.arg_small = static_cast<std::uint32_t>(e.op);
+      if (ps == nullptr || ps->bound_port == 0) {
+        out.status = -static_cast<std::int32_t>(errc::invalid_argument);
+      } else {
+        auto r = stack.tcp_listen(ps->bound_port, ps->cfg);
+        if (r) {
+          ps->ssock = r.value();
+          ps->listener = true;
+          by_ssock_[ps->ssock] = ps->cid;
+        } else {
+          out.status = -static_cast<std::int32_t>(r.error());
+        }
+      }
+      push_completion(svm, out);
+      return;
+    }
+    case shm::nqe_op::req_connect: {
+      auto* ps = socket_by_cid(e.handle);
+      shm::nqe out;
+      out.op = shm::nqe_op::cmp_generic;
+      out.handle = e.handle;
+      out.token = e.token;
+      out.arg_small = static_cast<std::uint32_t>(e.op);
+      if (ps == nullptr) {
+        out.status = -static_cast<std::int32_t>(errc::not_found);
+      } else if (sla_ != nullptr && !sla_->allow_connection(ps->vm)) {
+        out.status = -static_cast<std::int32_t>(errc::resource_exhausted);
+      } else {
+        const net::socket_addr remote{
+            net::ipv4_addr{static_cast<std::uint32_t>(e.arg0)},
+            static_cast<std::uint16_t>(e.arg1)};
+        auto r = stack.tcp_connect(remote, ps->cfg);
+        if (r) {
+          ps->ssock = r.value();
+          by_ssock_[ps->ssock] = ps->cid;
+        } else {
+          out.status = -static_cast<std::int32_t>(r.error());
+        }
+      }
+      push_completion(svm, out);
+      return;
+    }
+    case shm::nqe_op::req_send: {
+      auto* ps = socket_by_cid(e.handle);
+      if (ps == nullptr || ps->ssock == 0) {
+        (void)svm.ch->pool.free(e.desc.chunk);
+        shm::nqe out;
+        out.op = shm::nqe_op::ev_error;
+        out.handle = e.handle;
+        out.status = -static_cast<std::int32_t>(errc::not_connected);
+        push_receive(svm, out);
+        return;
+      }
+      // Copy the payload out of the huge pages into stack-owned memory; the
+      // copy itself is the Table 1 cost, charged by the caller's dispatch.
+      auto span = svm.ch->pool.readable(e.desc);
+      if (!span) {
+        shm::nqe out;
+        out.op = shm::nqe_op::ev_error;
+        out.handle = e.handle;
+        out.status = -static_cast<std::int32_t>(span.error());
+        push_receive(svm, out);
+        return;
+      }
+      buffer data = buffer::copy_of(span.value());
+      (void)svm.ch->pool.free(e.desc.chunk);
+      if (auto* core = nsm_.core(); core != nullptr) {
+        // Account the ServiceLib-side chunk copy.
+        core->execute(costs_.memcpy_cost(data.size()), [] {});
+      }
+      const std::uint64_t len = data.size();
+      ps->pending_send.push_back(pending_tx{std::move(data), e.token, len});
+      try_deliver_sends(*ps);
+      return;
+    }
+    case shm::nqe_op::req_recv_window: {
+      (void)svm.ch->pool.free(e.desc.chunk);
+      // Chunks freed: resume any reads stalled on pool exhaustion.
+      auto stalled = std::move(svm.stalled_reads);
+      svm.stalled_reads.clear();
+      for (const std::uint32_t cid : stalled) {
+        if (auto* ps = socket_by_cid(cid)) {
+          if (ps->udp) {
+            pump_udp_reads(*ps);
+          } else {
+            pump_reads(*ps);
+          }
+        }
+      }
+      return;
+    }
+    case shm::nqe_op::req_udp_open: {
+      const std::uint32_t cid = next_cid_++;
+      proto_socket ps;
+      ps.cid = cid;
+      ps.vm = svm.ch->vm_id;
+      ps.udp = true;
+      shm::nqe out;
+      out.op = shm::nqe_op::cmp_socket;
+      out.handle = cid;
+      out.token = e.token;
+      auto r = stack.udp_open(static_cast<std::uint16_t>(e.arg0));
+      if (r) {
+        ps.ssock = r.value();
+        by_ssock_[ps.ssock] = cid;
+      } else {
+        out.status = -static_cast<std::int32_t>(r.error());
+      }
+      sockets_[cid] = std::move(ps);
+      push_completion(svm, out);
+      return;
+    }
+    case shm::nqe_op::req_udp_send: {
+      auto* ps = socket_by_cid(e.handle);
+      auto span = svm.ch->pool.readable(e.desc);
+      if (ps == nullptr || ps->ssock == 0 || !ps->udp || !span) {
+        if (span) (void)svm.ch->pool.free(e.desc.chunk);
+        shm::nqe out;
+        out.op = shm::nqe_op::ev_error;
+        out.handle = e.handle;
+        out.status = -static_cast<std::int32_t>(errc::not_found);
+        push_receive(svm, out);
+        return;
+      }
+      buffer data = buffer::copy_of(span.value());
+      (void)svm.ch->pool.free(e.desc.chunk);
+      if (auto* core = nsm_.core(); core != nullptr) {
+        core->execute(costs_.memcpy_cost(data.size()), [] {});
+      }
+      const net::socket_addr dest{
+          net::ipv4_addr{static_cast<std::uint32_t>(e.arg0)},
+          static_cast<std::uint16_t>(e.arg1)};
+      const std::uint64_t len = data.size();
+      if (sla_ == nullptr || sla_->allow_send(ps->vm, len, sim_.now())) {
+        if (stack.udp_send_to(ps->ssock, dest, std::move(data)).ok()) {
+          stats_.bytes_to_stack += len;
+          if (sla_ != nullptr) sla_->record_send(ps->vm, len);
+        }
+      } else {
+        ++stats_.sla_throttles;  // datagrams over the cap are dropped
+      }
+      // Credit back to GuestLib regardless (datagram semantics).
+      shm::nqe out;
+      out.op = shm::nqe_op::cmp_send;
+      out.handle = e.handle;
+      out.token = e.token;
+      out.arg0 = len;
+      push_completion(svm, out);
+      return;
+    }
+    case shm::nqe_op::req_shutdown_wr: {
+      auto* ps = socket_by_cid(e.handle);
+      if (ps != nullptr && ps->ssock != 0) {
+        (void)stack.shutdown_write(ps->ssock);
+      }
+      return;
+    }
+    case shm::nqe_op::req_close: {
+      auto* ps = socket_by_cid(e.handle);
+      if (ps != nullptr) {
+        if (ps->ssock != 0) (void)stack.close(ps->ssock);
+        drop_socket(e.handle);
+      }
+      return;
+    }
+    default:
+      return;  // unknown/unsupported op: ignore
+  }
+}
+
+// --- stack events -----------------------------------------------------------------
+
+void service_lib::handle_stack_event(const stack::socket_event& ev) {
+  if (failed_) return;
+  auto* ps = socket_by_ssock(ev.sock);
+  if (ps == nullptr) return;
+  auto* svm_it = &vms_[ps->vm];
+
+  switch (ev.type) {
+    case stack::socket_event_type::connected: {
+      shm::nqe out;
+      out.op = shm::nqe_op::cmp_connected;
+      out.handle = ps->cid;
+      push_completion(*svm_it, out);
+      return;
+    }
+    case stack::socket_event_type::accept_ready: {
+      auto& stack = nsm_.stack();
+      while (true) {
+        auto r = stack.accept(ev.sock);
+        if (!r) break;
+        const std::uint32_t cid = next_cid_++;
+        proto_socket child;
+        child.cid = cid;
+        child.vm = ps->vm;
+        child.cfg = ps->cfg;
+        child.ssock = r.value();
+        sockets_[cid] = std::move(child);
+        by_ssock_[r.value()] = cid;
+        if (sla_ != nullptr) (void)sla_->allow_connection(ps->vm);
+
+        shm::nqe out;
+        out.op = shm::nqe_op::ev_accept;
+        out.handle = ps->cid;  // listener
+        out.arg0 = cid;        // the new connection
+        if (auto* t = stack.tcb_of(r.value())) {
+          out.arg1 = (std::uint64_t{t->tuple().remote.ip.value} << 16) |
+                     t->tuple().remote.port;
+        }
+        ++stats_.accept_events;
+        push_receive(*svm_it, out);
+      }
+      return;
+    }
+    case stack::socket_event_type::readable:
+      if (ps->udp) {
+        pump_udp_reads(*ps);
+      } else {
+        pump_reads(*ps);
+      }
+      return;
+    case stack::socket_event_type::writable:
+      try_deliver_sends(*ps);
+      return;
+    case stack::socket_event_type::closed:
+    case stack::socket_event_type::error: {
+      shm::nqe out;
+      out.op = ev.type == stack::socket_event_type::closed
+                   ? shm::nqe_op::ev_closed
+                   : shm::nqe_op::ev_error;
+      out.handle = ps->cid;
+      out.status = -static_cast<std::int32_t>(ev.error);
+      push_receive(*svm_it, out);
+      drop_socket(ps->cid);
+      return;
+    }
+  }
+}
+
+void service_lib::pump_reads(proto_socket& ps) {
+  if (ps.ssock == 0) return;
+  auto& svm = vms_[ps.vm];
+  auto& stack = nsm_.stack();
+  const std::size_t chunk_size = svm.ch->pool.chunk_size();
+
+  while (true) {
+    if (svm.ch->pool.chunks_free() == 0) {
+      // Backpressure: the VM has not consumed earlier data. Leave the rest
+      // in the stack's receive buffer (its rwnd will close) and resume when
+      // the VM returns a chunk.
+      svm.stalled_reads.insert(ps.cid);
+      ++stats_.chunk_stalls;
+      return;
+    }
+    auto r = stack.recv(ps.ssock, chunk_size);
+    if (!r) {
+      if (r.error() == errc::closed) {
+        // EOF: the peer half-closed; tell the VM. Route through the core so
+        // the EOF cannot overtake data events still queued there.
+        shm::nqe out;
+        out.op = shm::nqe_op::ev_closed;
+        out.handle = ps.cid;
+        if (auto* core = nsm_.core(); core != nullptr) {
+          core->execute(sim_time::zero(), [this, vm = ps.vm, out] {
+            if (auto it = vms_.find(vm); it != vms_.end()) {
+              push_receive(it->second, out);
+            }
+          });
+        } else {
+          push_receive(svm, out);
+        }
+      }
+      return;
+    }
+    buffer data = std::move(r).value();
+    auto chunk = svm.ch->pool.alloc();
+    if (!chunk) return;  // raced to exhaustion; the stall path will resume
+
+    auto span = svm.ch->pool.writable(chunk.value());
+    std::memcpy(span.value().data(), data.bytes().data(), data.size());
+    stats_.bytes_from_stack += data.size();
+    ++stats_.data_events;
+    if (sla_ != nullptr) sla_->record_receive(ps.vm, data.size());
+
+    shm::nqe out;
+    out.op = shm::nqe_op::ev_data;
+    out.handle = ps.cid;
+    out.desc = shm::data_descriptor{chunk.value(), 0,
+                                    static_cast<std::uint32_t>(data.size())};
+    if (auto* core = nsm_.core(); core != nullptr) {
+      core->execute(costs_.memcpy_cost(data.size()),
+                    [this, vm = ps.vm, out] {
+                      if (auto it = vms_.find(vm); it != vms_.end()) {
+                        push_receive(it->second, out);
+                      }
+                    });
+    } else {
+      push_receive(svm, out);
+    }
+  }
+}
+
+void service_lib::pump_udp_reads(proto_socket& ps) {
+  if (ps.ssock == 0) return;
+  auto& svm = vms_[ps.vm];
+  auto& stack = nsm_.stack();
+  const std::size_t chunk_size = svm.ch->pool.chunk_size();
+
+  while (true) {
+    if (svm.ch->pool.chunks_free() == 0) {
+      svm.stalled_reads.insert(ps.cid);
+      ++stats_.chunk_stalls;
+      return;
+    }
+    auto r = stack.udp_recv_from(ps.ssock);
+    if (!r) return;
+    auto [from, data] = std::move(r).value();
+    // Datagram larger than a chunk cannot be represented; drop it (the
+    // region broker sizes chunks >= the expected datagram MTU).
+    if (data.size() > chunk_size) continue;
+    auto chunk = svm.ch->pool.alloc();
+    if (!chunk) return;
+    auto span = svm.ch->pool.writable(chunk.value());
+    std::memcpy(span.value().data(), data.bytes().data(), data.size());
+    stats_.bytes_from_stack += data.size();
+    ++stats_.data_events;
+    if (sla_ != nullptr) sla_->record_receive(ps.vm, data.size());
+
+    shm::nqe out;
+    out.op = shm::nqe_op::ev_udp_data;
+    out.handle = ps.cid;
+    out.desc = shm::data_descriptor{chunk.value(), 0,
+                                    static_cast<std::uint32_t>(data.size())};
+    out.arg0 = from.ip.value;
+    out.arg1 = from.port;
+    if (auto* core = nsm_.core(); core != nullptr) {
+      core->execute(costs_.memcpy_cost(data.size()),
+                    [this, vm = ps.vm, out] {
+                      if (auto it = vms_.find(vm); it != vms_.end()) {
+                        push_receive(it->second, out);
+                      }
+                    });
+    } else {
+      push_receive(svm, out);
+    }
+  }
+}
+
+void service_lib::try_deliver_sends(proto_socket& ps) {
+  if (ps.ssock == 0) return;
+  auto& svm = vms_[ps.vm];
+  auto& stack = nsm_.stack();
+
+  while (!ps.pending_send.empty()) {
+    auto& [data, token, original] = ps.pending_send.front();
+
+    if (sla_ != nullptr && !sla_->allow_send(ps.vm, data.size(), sim_.now())) {
+      ++stats_.sla_throttles;
+      if (!ps.sla_retry_armed) {
+        ps.sla_retry_armed = true;
+        const sim_time at = sla_->retry_at(ps.vm, data.size(), sim_.now());
+        const std::uint32_t cid = ps.cid;
+        sim_.schedule_at(std::max(at, sim_.now() + microseconds(1)),
+                         [this, cid] {
+                           if (auto* p = socket_by_cid(cid)) {
+                             p->sla_retry_armed = false;
+                             try_deliver_sends(*p);
+                           }
+                         });
+      }
+      return;
+    }
+
+    auto r = stack.send(ps.ssock, data);
+    if (!r) {
+      if (r.error() == errc::would_block) return;  // wait for writable
+      // Connection went away: report and drop the queue.
+      shm::nqe out;
+      out.op = shm::nqe_op::ev_error;
+      out.handle = ps.cid;
+      out.status = -static_cast<std::int32_t>(r.error());
+      push_receive(svm, out);
+      ps.pending_send.clear();
+      return;
+    }
+    const std::size_t accepted = r.value();
+    stats_.bytes_to_stack += accepted;
+    if (sla_ != nullptr) sla_->record_send(ps.vm, accepted);
+    if (accepted < data.size()) {
+      data = data.suffix_from(accepted);
+      return;  // stack buffer full; resume on writable
+    }
+
+    shm::nqe out;
+    out.op = shm::nqe_op::cmp_send;
+    out.handle = ps.cid;
+    out.token = token;
+    out.arg0 = original;
+    push_completion(svm, out);
+    ps.pending_send.pop_front();
+  }
+}
+
+}  // namespace nk::core

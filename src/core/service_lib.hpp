@@ -1,0 +1,129 @@
+// ServiceLib: the NSM-resident half of NetKernel (paper §3.1-3.2).
+//
+// Drains the NSM-side job queue, executes each operation against the NSM's
+// network stack through its socket backend, and pushes completions and
+// events (new data, new connections — the prototype's
+// nk_new_data_callback / nk_new_accept_callback) back through the NSM-side
+// completion/receive queues. Payload moves through the per-VM huge-page
+// pool; every ServiceLib-side chunk copy and dispatch is charged to the
+// NSM's core.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/buffer.hpp"
+#include "core/channel.hpp"
+#include "core/costs.hpp"
+#include "core/notification.hpp"
+#include "core/nsm.hpp"
+#include "core/sla.hpp"
+
+namespace nk::core {
+
+struct service_lib_stats {
+  std::uint64_t ops_processed = 0;
+  std::uint64_t bytes_to_stack = 0;    // app payload handed to the stack
+  std::uint64_t bytes_from_stack = 0;  // app payload copied to huge pages
+  std::uint64_t data_events = 0;
+  std::uint64_t accept_events = 0;
+  std::uint64_t chunk_stalls = 0;      // reads stalled on pool exhaustion
+  std::uint64_t sla_throttles = 0;
+};
+
+class service_lib {
+ public:
+  service_lib(nsm& owner, sim::simulator& s, const netkernel_costs& costs,
+              const notify_config& ncfg);
+
+  service_lib(const service_lib&) = delete;
+  service_lib& operator=(const service_lib&) = delete;
+
+  // CoreEngine wires one channel per served VM. `notify_ce` is the doorbell
+  // toward CoreEngine's NSM->VM pump.
+  void attach_channel(channel& ch, std::function<void()> notify_ce);
+
+  // Begins polling/serving (installs the stack event handler).
+  void start();
+
+  // Producer doorbell from CoreEngine (batched-interrupt mode).
+  void notify() { pump_->notify(); }
+
+  // Optional SLA enforcement at the send boundary.
+  void set_sla_manager(sla_manager* sla) { sla_ = sla; }
+
+  // Failure injection: the NSM dies. Serving stops, every tenant socket is
+  // aborted and reported via ev_error — what the provider's failure
+  // detection (core/monitor.hpp) and the tenant both observe when a stack
+  // module crashes (§5 "failure detection ... can be deployed readily").
+  void fail();
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  [[nodiscard]] const service_lib_stats& stats() const { return stats_; }
+  [[nodiscard]] nsm& module() { return nsm_; }
+
+ private:
+  struct served_vm {
+    channel* ch = nullptr;
+    std::function<void()> notify_ce;
+    std::unordered_set<std::uint32_t> stalled_reads;  // cids awaiting chunks
+  };
+
+  struct pending_tx {
+    buffer data;                 // unsent remainder
+    std::uint64_t token = 0;     // GuestLib correlation
+    std::uint64_t original = 0;  // size as submitted (credit release amount)
+  };
+
+  struct proto_socket {
+    std::uint32_t cid = 0;
+    virt::vm_id vm = 0;
+    std::uint16_t bound_port = 0;
+    tcp::tcp_config cfg{};
+    stack::socket_id ssock = 0;  // 0 until listen/connect/udp_open binds it
+    bool listener = false;
+    bool udp = false;
+    std::deque<pending_tx> pending_send;
+    bool sla_retry_armed = false;
+  };
+
+  // Job-queue drain (the pump's callback).
+  std::size_t drain_jobs();
+  void handle_nqe(served_vm& svm, const shm::nqe& e);
+
+  // Stack event plumbing.
+  void handle_stack_event(const stack::socket_event& ev);
+  void pump_reads(proto_socket& ps);
+  void pump_udp_reads(proto_socket& ps);
+  void try_deliver_sends(proto_socket& ps);
+
+  // Queue push helpers (charge CoreEngine-visible completion).
+  void push_completion(served_vm& svm, shm::nqe e);
+  void push_receive(served_vm& svm, shm::nqe e);
+
+  [[nodiscard]] proto_socket* socket_by_cid(std::uint32_t cid);
+  [[nodiscard]] proto_socket* socket_by_ssock(stack::socket_id s);
+  void drop_socket(std::uint32_t cid);
+  [[nodiscard]] sim_time op_cost() const;
+
+  nsm& nsm_;
+  sim::simulator& sim_;
+  netkernel_costs costs_;
+  std::unique_ptr<queue_pump> pump_;
+  sla_manager* sla_ = nullptr;
+
+  bool redrain_pending_ = false;
+  bool failed_ = false;
+  std::unordered_map<virt::vm_id, served_vm> vms_;
+  std::unordered_map<std::uint32_t, proto_socket> sockets_;
+  std::unordered_map<stack::socket_id, std::uint32_t> by_ssock_;
+  std::uint32_t next_cid_ = 1;
+
+  service_lib_stats stats_;
+};
+
+}  // namespace nk::core

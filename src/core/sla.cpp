@@ -1,0 +1,88 @@
+#include "core/sla.hpp"
+
+namespace nk::core {
+
+void sla_manager::set_tenant(virt::vm_id vm, const sla_spec& spec) {
+  auto it = tenants_.find(vm);
+  if (it != tenants_.end() && !spec.rate_cap.is_zero() &&
+      !it->second.spec.rate_cap.is_zero()) {
+    // Live rate change (e.g. the bandwidth arbiter re-programming shares):
+    // keep the bucket's token level — refilling it every update would admit
+    // an extra burst per epoch.
+    it->second.spec = spec;
+    it->second.bucket.set_rate(spec.rate_cap);
+    it->second.bucket.set_burst(spec.burst_bytes);
+    return;
+  }
+  tenant t;
+  t.spec = spec;
+  if (!spec.rate_cap.is_zero()) {
+    t.bucket = token_bucket{spec.rate_cap, spec.burst_bytes};
+  }
+  tenants_[vm] = t;
+  usage_.try_emplace(vm);
+}
+
+const sla_spec* sla_manager::spec_of(virt::vm_id vm) const {
+  auto it = tenants_.find(vm);
+  return it == tenants_.end() ? nullptr : &it->second.spec;
+}
+
+bool sla_manager::allow_send(virt::vm_id vm, std::uint64_t bytes,
+                             sim_time now) {
+  auto it = tenants_.find(vm);
+  if (it == tenants_.end() || it->second.spec.rate_cap.is_zero()) {
+    return true;
+  }
+  if (it->second.bucket.try_consume(now, bytes)) {
+    return true;
+  }
+  ++usage_[vm].throttle_events;
+  return false;
+}
+
+void sla_manager::record_send(virt::vm_id vm, std::uint64_t bytes) {
+  usage_[vm].bytes_sent += bytes;
+}
+
+sim_time sla_manager::retry_at(virt::vm_id vm, std::uint64_t bytes,
+                               sim_time now) const {
+  auto it = tenants_.find(vm);
+  if (it == tenants_.end() || it->second.spec.rate_cap.is_zero()) return now;
+  return it->second.bucket.next_available(now, bytes);
+}
+
+bool sla_manager::allow_connection(virt::vm_id vm) {
+  auto it = tenants_.find(vm);
+  auto& usage = usage_[vm];
+  if (it != tenants_.end() && it->second.spec.max_connections > 0 &&
+      usage.connections >= it->second.spec.max_connections) {
+    return false;
+  }
+  ++usage.connections;
+  ++usage.connections_total;
+  return true;
+}
+
+void sla_manager::on_connection_closed(virt::vm_id vm) {
+  auto& usage = usage_[vm];
+  if (usage.connections > 0) --usage.connections;
+}
+
+void sla_manager::record_receive(virt::vm_id vm, std::uint64_t bytes) {
+  usage_[vm].bytes_received += bytes;
+}
+
+bool sla_manager::guarantee_met(virt::vm_id vm, sim_time now) const {
+  auto spec_it = tenants_.find(vm);
+  if (spec_it == tenants_.end() ||
+      spec_it->second.spec.rate_guarantee.is_zero()) {
+    return true;
+  }
+  auto usage_it = usage_.find(vm);
+  if (usage_it == usage_.end() || now <= sim_time::zero()) return false;
+  const data_rate achieved = rate_of(usage_it->second.bytes_sent, now);
+  return !(achieved < spec_it->second.spec.rate_guarantee);
+}
+
+}  // namespace nk::core

@@ -1,0 +1,69 @@
+// SLA management (paper §2.1): because the provider now controls the
+// network stack, it can define and enforce per-tenant networking SLAs —
+// rate caps/guarantees and connection quotas — at the NSM boundary, and
+// meter usage for billing (core/accounting.hpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/token_bucket.hpp"
+#include "common/units.hpp"
+#include "virt/machine.hpp"
+
+namespace nk::core {
+
+struct sla_spec {
+  data_rate rate_cap{};        // zero = uncapped
+  data_rate rate_guarantee{};  // provisioning target, used for reporting
+  std::uint64_t burst_bytes = 256 * 1024;
+  std::uint64_t max_connections = 0;  // 0 = unlimited
+};
+
+struct tenant_usage {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t connections = 0;      // currently open
+  std::uint64_t connections_total = 0;
+  std::uint64_t throttle_events = 0;
+};
+
+class sla_manager {
+ public:
+  void set_tenant(virt::vm_id vm, const sla_spec& spec);
+  [[nodiscard]] const sla_spec* spec_of(virt::vm_id vm) const;
+
+  // Send-side admission: true (and debits the bucket) if `bytes` may go now.
+  // Admission only — actual volume is metered via record_send (a partially
+  // accepted send is re-admitted later and must not double-count).
+  bool allow_send(virt::vm_id vm, std::uint64_t bytes, sim_time now);
+
+  // Meters bytes the stack actually accepted.
+  void record_send(virt::vm_id vm, std::uint64_t bytes);
+
+  // Earliest time `bytes` will be admitted.
+  [[nodiscard]] sim_time retry_at(virt::vm_id vm, std::uint64_t bytes,
+                                  sim_time now) const;
+
+  bool allow_connection(virt::vm_id vm);
+  void on_connection_closed(virt::vm_id vm);
+
+  void record_receive(virt::vm_id vm, std::uint64_t bytes);
+
+  [[nodiscard]] const tenant_usage& usage_of(virt::vm_id vm) {
+    return usage_[vm];
+  }
+
+  // Measured average send rate over [0, now] vs the guarantee.
+  [[nodiscard]] bool guarantee_met(virt::vm_id vm, sim_time now) const;
+
+ private:
+  struct tenant {
+    sla_spec spec{};
+    token_bucket bucket{data_rate::gbps(1000), 256 * 1024};
+  };
+  std::unordered_map<virt::vm_id, tenant> tenants_;
+  std::unordered_map<virt::vm_id, tenant_usage> usage_;
+};
+
+}  // namespace nk::core

@@ -1,0 +1,68 @@
+#include "net/capture.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace nk::net {
+
+void capture::tap(const packet& p, sim_time now) {
+  if (records_.size() >= max_packets_) {
+    ++dropped_;
+    return;
+  }
+  records_.push_back(capture_record{now, serialize(p)});
+}
+
+result<packet> capture::decode(std::size_t i) const {
+  if (i >= records_.size()) return errc::not_found;
+  return parse(records_[i].bytes);
+}
+
+std::string capture::text_dump() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    auto parsed = decode(i);
+    os << to_seconds(records_[i].at) << "s ";
+    if (parsed.ok()) {
+      os << parsed.value().summary();
+    } else {
+      os << "<unparseable: " << to_string(parsed.error()) << ">";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool capture::write_pcap(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+
+  const auto put32 = [f](std::uint32_t v) {
+    std::fwrite(&v, sizeof v, 1, f);
+  };
+  const auto put16 = [f](std::uint16_t v) {
+    std::fwrite(&v, sizeof v, 1, f);
+  };
+
+  // pcap global header: magic, version 2.4, LINKTYPE_RAW (101).
+  put32(0xa1b2c3d4);
+  put16(2);
+  put16(4);
+  put32(0);        // thiszone
+  put32(0);        // sigfigs
+  put32(65535);    // snaplen
+  put32(101);      // LINKTYPE_RAW
+
+  for (const auto& rec : records_) {
+    const std::uint64_t us = static_cast<std::uint64_t>(rec.at.count()) / 1000;
+    put32(static_cast<std::uint32_t>(us / 1'000'000));  // ts_sec
+    put32(static_cast<std::uint32_t>(us % 1'000'000));  // ts_usec
+    put32(static_cast<std::uint32_t>(rec.bytes.size()));
+    put32(static_cast<std::uint32_t>(rec.bytes.size()));
+    std::fwrite(rec.bytes.data(), 1, rec.bytes.size(), f);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace nk::net

@@ -1,0 +1,59 @@
+// Packet capture: a tap that serializes packets through the wire codec and
+// records them — to a standard pcap file (readable by tcpdump/wireshark,
+// LINKTYPE_RAW/IPv4) and/or an in-memory trace with human-readable dump.
+//
+// Capture taps double as end-to-end validation of the wire codec: every
+// captured packet is serialized with real checksums, and trace replay
+// re-parses the bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/packet.hpp"
+#include "net/wire.hpp"
+
+namespace nk::net {
+
+struct capture_record {
+  sim_time at{};
+  std::vector<std::byte> bytes;  // serialized IPv4 packet
+};
+
+class capture {
+ public:
+  explicit capture(std::size_t max_packets = 100000)
+      : max_packets_{max_packets} {}
+
+  // Records `p` at simulated time `now`. Drops (and counts) beyond the cap.
+  void tap(const packet& p, sim_time now);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const std::vector<capture_record>& records() const {
+    return records_;
+  }
+
+  // Re-parses record `i` through the wire codec.
+  [[nodiscard]] result<packet> decode(std::size_t i) const;
+
+  // tcpdump-style one-line-per-packet text dump.
+  [[nodiscard]] std::string text_dump() const;
+
+  // Writes a pcap file (LINKTYPE_RAW: raw IPv4). Returns false on I/O error.
+  bool write_pcap(const std::string& path) const;
+
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t max_packets_;
+  std::vector<capture_record> records_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace nk::net

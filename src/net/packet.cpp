@@ -1,0 +1,33 @@
+#include "net/packet.hpp"
+
+namespace nk::net {
+
+std::string tcp_flags::to_string() const {
+  std::string out;
+  if (syn) out += 'S';
+  if (ack) out += 'A';
+  if (fin) out += 'F';
+  if (rst) out += 'R';
+  if (psh) out += 'P';
+  if (ece) out += 'E';
+  if (cwr) out += 'C';
+  if (out.empty()) out = "-";
+  return out;
+}
+
+std::string packet::summary() const {
+  std::string out = ip.src.to_string() + ':' + std::to_string(src_port()) +
+                    " > " + ip.dst.to_string() + ':' +
+                    std::to_string(dst_port());
+  if (is_tcp()) {
+    const auto& h = tcp();
+    out += " [" + h.flags.to_string() + "] seq=" + std::to_string(h.seq) +
+           " ack=" + std::to_string(h.ack) + " wnd=" + std::to_string(h.wnd);
+  } else {
+    out += " UDP";
+  }
+  out += " len=" + std::to_string(payload.size());
+  return out;
+}
+
+}  // namespace nk::net

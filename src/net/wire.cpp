@@ -1,0 +1,245 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nk::net {
+namespace {
+
+void put_u8(std::vector<std::byte>& out, std::uint8_t v) {
+  out.push_back(static_cast<std::byte>(v));
+}
+void put_u16(std::vector<std::byte>& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+  put_u8(out, static_cast<std::uint8_t>(v & 0xff));
+}
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+std::uint8_t get_u8(std::span<const std::byte> in, std::size_t at) {
+  return static_cast<std::uint8_t>(in[at]);
+}
+std::uint16_t get_u16(std::span<const std::byte> in, std::size_t at) {
+  return static_cast<std::uint16_t>((get_u8(in, at) << 8) | get_u8(in, at + 1));
+}
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t at) {
+  return (std::uint32_t{get_u16(in, at)} << 16) | get_u16(in, at + 2);
+}
+
+void patch_u16(std::span<std::byte> out, std::size_t at, std::uint16_t v) {
+  out[at] = static_cast<std::byte>(v >> 8);
+  out[at + 1] = static_cast<std::byte>(v & 0xff);
+}
+
+// Sum of the TCP/UDP pseudo-header in ones-complement arithmetic units.
+std::uint32_t pseudo_header_sum(const ipv4_header& ip, std::uint16_t l4_len) {
+  std::uint32_t sum = 0;
+  sum += ip.src.value >> 16;
+  sum += ip.src.value & 0xffff;
+  sum += ip.dst.value >> 16;
+  sum += ip.dst.value & 0xffff;
+  sum += static_cast<std::uint8_t>(ip.proto);
+  sum += l4_len;
+  return sum;
+}
+
+constexpr std::size_t ip_header_len = 20;
+constexpr std::size_t udp_header_len = 8;
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::byte> data,
+                                std::uint32_t initial) {
+  std::uint64_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint16_t>(data[i]) << 8) |
+           static_cast<std::uint16_t>(data[i + 1]);
+  }
+  if (i < data.size()) sum += static_cast<std::uint16_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::vector<std::byte> serialize(const packet& p, const wire_options& opt) {
+  const std::size_t tcp_header_len = p.is_tcp() ? p.tcp().header_bytes() : 0;
+  const std::size_t l4_len =
+      (p.is_tcp() ? tcp_header_len : udp_header_len) + p.payload.size();
+  const std::size_t total = ip_header_len + l4_len;
+
+  std::vector<std::byte> out;
+  out.reserve(total);
+
+  // --- IPv4 header ---------------------------------------------------------
+  put_u8(out, 0x45);  // version 4, IHL 5
+  put_u8(out, static_cast<std::uint8_t>(p.ip.ecn));  // DSCP 0 + ECN bits
+  put_u16(out, static_cast<std::uint16_t>(total));
+  put_u16(out, p.ip.id);
+  put_u16(out, 0x4000);  // flags: DF, fragment offset 0
+  put_u8(out, p.ip.ttl);
+  // The L4 variant is authoritative for the protocol field; a mismatched
+  // ip.proto would otherwise produce an unparseable packet.
+  put_u8(out, static_cast<std::uint8_t>(p.is_tcp() ? ip_proto::tcp
+                                                   : ip_proto::udp));
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, p.ip.src.value);
+  put_u32(out, p.ip.dst.value);
+  const std::uint16_t ip_csum =
+      internet_checksum(std::span{out}.first(ip_header_len));
+  patch_u16(out, 10, ip_csum);
+
+  // --- L4 header -----------------------------------------------------------
+  const std::size_t l4_at = out.size();
+  if (p.is_tcp()) {
+    const auto& h = p.tcp();
+    put_u16(out, h.src_port);
+    put_u16(out, h.dst_port);
+    put_u32(out, h.seq);
+    put_u32(out, h.ack);
+    std::uint8_t offset_byte = (tcp_header_len / 4) << 4;
+    put_u8(out, offset_byte);
+    std::uint8_t flag_byte = 0;
+    if (h.flags.fin) flag_byte |= 0x01;
+    if (h.flags.syn) flag_byte |= 0x02;
+    if (h.flags.rst) flag_byte |= 0x04;
+    if (h.flags.psh) flag_byte |= 0x08;
+    if (h.flags.ack) flag_byte |= 0x10;
+    if (h.flags.ece) flag_byte |= 0x40;
+    if (h.flags.cwr) flag_byte |= 0x80;
+    put_u8(out, flag_byte);
+    const std::uint32_t scaled = h.wnd >> opt.window_shift;
+    put_u16(out, static_cast<std::uint16_t>(std::min<std::uint32_t>(scaled, 0xffff)));
+    put_u16(out, 0);  // checksum placeholder
+    put_u16(out, 0);  // urgent pointer
+    // Timestamp option: NOP, NOP, kind 8, len 10, ts_val, ts_ecr.
+    put_u8(out, 1);
+    put_u8(out, 1);
+    put_u8(out, 8);
+    put_u8(out, 10);
+    put_u32(out, h.ts_val);
+    put_u32(out, h.ts_ecr);
+    // SACK option (RFC 2018): NOP, NOP, kind 5, len 2+8n, blocks.
+    if (h.sack_count > 0) {
+      put_u8(out, 1);
+      put_u8(out, 1);
+      put_u8(out, 5);
+      put_u8(out, static_cast<std::uint8_t>(2 + 8 * h.sack_count));
+      for (std::uint8_t i = 0; i < h.sack_count; ++i) {
+        put_u32(out, h.sacks[i].start);
+        put_u32(out, h.sacks[i].end);
+      }
+    }
+  } else {
+    const auto& h = p.udp();
+    put_u16(out, h.src_port);
+    put_u16(out, h.dst_port);
+    put_u16(out, static_cast<std::uint16_t>(l4_len));
+    put_u16(out, 0);  // checksum placeholder
+  }
+
+  // --- payload -------------------------------------------------------------
+  const auto payload = p.payload.bytes();
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  // --- L4 checksum over pseudo-header + segment -----------------------------
+  ipv4_header pseudo_ip = p.ip;
+  pseudo_ip.proto = p.is_tcp() ? ip_proto::tcp : ip_proto::udp;
+  const std::uint32_t pseudo =
+      pseudo_header_sum(pseudo_ip, static_cast<std::uint16_t>(l4_len));
+  const std::uint16_t l4_csum =
+      internet_checksum(std::span{out}.subspan(l4_at), pseudo);
+  patch_u16(out, l4_at + (p.is_tcp() ? 16 : 6), l4_csum);
+  return out;
+}
+
+result<packet> parse(std::span<const std::byte> data,
+                     const wire_options& opt) {
+  if (data.size() < ip_header_len) return errc::invalid_argument;
+  if (get_u8(data, 0) != 0x45) return errc::not_supported;  // options/IPv6
+  const std::uint16_t total = get_u16(data, 2);
+  if (total > data.size() || total < ip_header_len) {
+    return errc::invalid_argument;
+  }
+  data = data.first(total);
+  if (internet_checksum(data.first(ip_header_len)) != 0) {
+    return errc::invalid_argument;  // corrupted IP header
+  }
+
+  packet p;
+  p.ip.ecn = static_cast<ecn_codepoint>(get_u8(data, 1) & 0x3);
+  p.ip.id = get_u16(data, 4);
+  p.ip.ttl = get_u8(data, 8);
+  p.ip.proto = static_cast<ip_proto>(get_u8(data, 9));
+  p.ip.src = ipv4_addr{get_u32(data, 12)};
+  p.ip.dst = ipv4_addr{get_u32(data, 16)};
+
+  const auto l4 = data.subspan(ip_header_len);
+  const std::uint32_t pseudo =
+      pseudo_header_sum(p.ip, static_cast<std::uint16_t>(l4.size()));
+  if (internet_checksum(l4, pseudo) != 0) {
+    return errc::invalid_argument;  // corrupted segment
+  }
+
+  if (p.ip.proto == ip_proto::tcp) {
+    if (l4.size() < 32) return errc::invalid_argument;
+    tcp_header h;
+    h.src_port = get_u16(l4, 0);
+    h.dst_port = get_u16(l4, 2);
+    h.seq = get_u32(l4, 4);
+    h.ack = get_u32(l4, 8);
+    const std::size_t header_bytes = (get_u8(l4, 12) >> 4) * std::size_t{4};
+    if (header_bytes < 20 || header_bytes > l4.size()) {
+      return errc::invalid_argument;
+    }
+    const std::uint8_t flag_byte = get_u8(l4, 13);
+    h.flags.fin = flag_byte & 0x01;
+    h.flags.syn = flag_byte & 0x02;
+    h.flags.rst = flag_byte & 0x04;
+    h.flags.psh = flag_byte & 0x08;
+    h.flags.ack = flag_byte & 0x10;
+    h.flags.ece = flag_byte & 0x40;
+    h.flags.cwr = flag_byte & 0x80;
+    h.wnd = std::uint32_t{get_u16(l4, 14)} << opt.window_shift;
+    // Scan options for the timestamp.
+    std::size_t at = 20;
+    while (at < header_bytes) {
+      const std::uint8_t kind = get_u8(l4, at);
+      if (kind == 0) break;      // end of options
+      if (kind == 1) { ++at; continue; }  // NOP
+      if (at + 1 >= header_bytes) return errc::invalid_argument;
+      const std::uint8_t len = get_u8(l4, at + 1);
+      if (len < 2 || at + len > header_bytes) return errc::invalid_argument;
+      if (kind == 8 && len == 10) {
+        h.ts_val = get_u32(l4, at + 2);
+        h.ts_ecr = get_u32(l4, at + 6);
+      }
+      if (kind == 5 && len >= 10 && (len - 2) % 8 == 0) {
+        const std::size_t blocks = std::min<std::size_t>((len - 2) / 8, 3);
+        for (std::size_t b = 0; b < blocks; ++b) {
+          h.sacks[b].start = get_u32(l4, at + 2 + 8 * b);
+          h.sacks[b].end = get_u32(l4, at + 6 + 8 * b);
+        }
+        h.sack_count = static_cast<std::uint8_t>(blocks);
+      }
+      at += len;
+    }
+    p.l4 = h;
+    p.payload = buffer::copy_of(l4.subspan(header_bytes));
+  } else if (p.ip.proto == ip_proto::udp) {
+    if (l4.size() < udp_header_len) return errc::invalid_argument;
+    udp_header h;
+    h.src_port = get_u16(l4, 0);
+    h.dst_port = get_u16(l4, 2);
+    const std::uint16_t udp_len = get_u16(l4, 4);
+    if (udp_len != l4.size()) return errc::invalid_argument;
+    p.l4 = h;
+    p.payload = buffer::copy_of(l4.subspan(udp_header_len));
+  } else {
+    return errc::not_supported;
+  }
+  return p;
+}
+
+}  // namespace nk::net

@@ -1,0 +1,39 @@
+#include "phys/l3_switch.hpp"
+
+#include <utility>
+
+namespace nk::phys {
+
+int l3_switch::add_port(egress out) {
+  ports_.push_back(std::move(out));
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+void l3_switch::set_route(net::ipv4_addr dst, int port) {
+  routes_[dst] = port;
+}
+
+void l3_switch::ingress(net::packet p) {
+  const auto it = routes_.find(p.ip.dst);
+  if (it == routes_.end()) {
+    ++stats_.no_route;
+    return;
+  }
+  const int port = it->second;
+  if (core_ != nullptr) {
+    const sim_time cost = cost_.of(p.wire_size());
+    core_->execute(cost, [this, p = std::move(p), port]() mutable {
+      egress_now(std::move(p), port);
+    });
+    return;
+  }
+  egress_now(std::move(p), port);
+}
+
+void l3_switch::egress_now(net::packet p, int port) {
+  ++stats_.forwarded;
+  stats_.forwarded_bytes += p.wire_size();
+  ports_[static_cast<std::size_t>(port)](std::move(p));
+}
+
+}  // namespace nk::phys

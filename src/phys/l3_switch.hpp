@@ -1,0 +1,68 @@
+// Destination-IP forwarding element. The hypervisor's software vSwitch and
+// the "embedded switch" of an SR-IOV NIC (paper Figure 2) are both built on
+// this: the software path charges a per-packet cost to a host CPU core,
+// the embedded path forwards for free (hardware offload).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/cpu_core.hpp"
+
+namespace nk::phys {
+
+struct switch_stats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t forwarded_bytes = 0;
+  std::uint64_t no_route = 0;
+};
+
+struct forwarding_cost {
+  sim_time per_packet = sim_time::zero();
+  double ns_per_byte = 0.0;  // multiplied by wire size
+
+  [[nodiscard]] sim_time of(std::size_t bytes) const {
+    return per_packet + sim_time{static_cast<std::int64_t>(
+                            ns_per_byte * static_cast<double>(bytes))};
+  }
+};
+
+class l3_switch {
+ public:
+  explicit l3_switch(std::string name) : name_{std::move(name)} {}
+
+  using egress = std::function<void(net::packet)>;
+
+  // Adds a port; returns its index.
+  int add_port(egress out);
+
+  void set_route(net::ipv4_addr dst, int port);
+
+  // Software-path cost model: every forwarded packet occupies `core` for
+  // cost.of(wire_size). Null core = hardware switch (free forwarding).
+  void set_forwarding_cost(sim::cpu_core* core, forwarding_cost cost) {
+    core_ = core;
+    cost_ = cost;
+  }
+
+  void ingress(net::packet p);
+
+  [[nodiscard]] const switch_stats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  void egress_now(net::packet p, int port);
+
+  std::string name_;
+  std::vector<egress> ports_;
+  std::unordered_map<net::ipv4_addr, int> routes_;
+  sim::cpu_core* core_ = nullptr;
+  forwarding_cost cost_{};
+  switch_stats stats_;
+};
+
+}  // namespace nk::phys

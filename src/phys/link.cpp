@@ -1,0 +1,49 @@
+#include "phys/link.hpp"
+
+#include <utility>
+
+namespace nk::phys {
+
+link::link(sim::simulator& s, const link_config& cfg,
+           std::unique_ptr<packet_queue> queue)
+    : sim_{s}, cfg_{cfg}, queue_{std::move(queue)} {
+  if (!queue_) queue_ = std::make_unique<droptail_queue>(cfg.queue);
+}
+
+void link::send(net::packet p) {
+  if (transmitting_) {
+    (void)queue_->offer(p);  // queue accounts the drop if it refuses
+    return;
+  }
+  begin_transmission(std::move(p));
+}
+
+void link::begin_transmission(net::packet p) {
+  transmitting_ = true;
+  const std::size_t size = p.wire_size();
+  ++stats_.packets_sent;
+  stats_.bytes_sent += size;
+  if (tap_) tap_(p);
+
+  const sim_time tx = cfg_.rate.transmission_time(size);
+  const bool lost = cfg_.loss_rate > 0.0 && sim_.random().chance(cfg_.loss_rate);
+  if (lost) {
+    ++stats_.packets_lost;
+    sim_.schedule(tx, [this] { transmission_done(); });
+    return;
+  }
+
+  sim_.schedule(tx + cfg_.propagation_delay,
+                [this, p = std::move(p)]() mutable {
+                  ++stats_.packets_delivered;
+                  if (sink_) sink_(std::move(p));
+                });
+  sim_.schedule(tx, [this] { transmission_done(); });
+}
+
+void link::transmission_done() {
+  transmitting_ = false;
+  if (auto next = queue_->take()) begin_transmission(std::move(*next));
+}
+
+}  // namespace nk::phys

@@ -1,0 +1,67 @@
+// Huge-page data region shared between one tenant VM and its NSM.
+//
+// The paper's prototype backs this with QEMU IVSHMEM: 2 MB pages, 40 of
+// them, carved into fixed-size chunks that GuestLib/ServiceLib memcpy
+// application payload into and reference from nqes via data descriptors.
+// Each VM↔NSM pair gets a pool with a unique key; descriptors minted by a
+// different pool are rejected, which is the isolation property of §3.1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "shm/nqe.hpp"
+
+namespace nk::shm {
+
+struct hugepage_config {
+  std::size_t page_size = 2 * 1024 * 1024;  // 2 MB huge pages
+  std::size_t page_count = 40;              // prototype uses 40 pages
+  std::size_t chunk_size = 8 * 1024;        // default chunk granularity
+};
+
+class hugepage_pool {
+ public:
+  // `key` must be unique per VM↔NSM pair (the region broker enforces this).
+  hugepage_pool(std::uint32_t key, const hugepage_config& cfg = {});
+
+  hugepage_pool(const hugepage_pool&) = delete;
+  hugepage_pool& operator=(const hugepage_pool&) = delete;
+
+  [[nodiscard]] std::uint32_t key() const { return key_; }
+  [[nodiscard]] std::size_t chunk_size() const { return cfg_.chunk_size; }
+  [[nodiscard]] std::size_t chunk_count() const { return chunk_count_; }
+  [[nodiscard]] std::size_t chunks_free() const { return free_.size(); }
+  [[nodiscard]] std::size_t bytes_total() const {
+    return cfg_.page_size * cfg_.page_count;
+  }
+
+  // Takes one chunk from the free list.
+  [[nodiscard]] result<chunk_ref> alloc();
+
+  // Returns a chunk to the free list. Rejects foreign or double-freed refs.
+  status free(chunk_ref ref);
+
+  // Mutable view of a chunk for the owner of a valid descriptor.
+  [[nodiscard]] result<std::span<std::byte>> writable(chunk_ref ref);
+
+  // Read-only view covering [offset, offset+length) of the chunk.
+  [[nodiscard]] result<std::span<const std::byte>> readable(
+      const data_descriptor& desc) const;
+
+ private:
+  [[nodiscard]] status validate(chunk_ref ref) const;
+
+  std::uint32_t key_;
+  hugepage_config cfg_;
+  std::size_t chunk_count_;
+  std::unique_ptr<std::byte[]> region_;
+  std::vector<std::uint32_t> free_;
+  std::vector<bool> allocated_;
+};
+
+}  // namespace nk::shm

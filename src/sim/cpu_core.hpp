@@ -1,0 +1,47 @@
+// A serializing CPU resource.
+//
+// Per-packet and per-operation processing costs are charged against a
+// cpu_core: work items queue FIFO and each occupies the core for its cost
+// before its completion runs. A single core therefore caps throughput at
+// 1/cost — this is what makes one TCP flow CPU-bound below line rate in
+// Figure 4 while two flows on two cores reach line rate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace nk::sim {
+
+class cpu_core {
+ public:
+  cpu_core(simulator& s, std::string name);
+
+  cpu_core(const cpu_core&) = delete;
+  cpu_core& operator=(const cpu_core&) = delete;
+
+  // Occupies the core for `cost` (after any already-queued work), then runs
+  // `done`. Zero-cost work still respects FIFO order.
+  void execute(sim_time cost, std::function<void()> done);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // Cumulative busy time charged so far.
+  [[nodiscard]] sim_time busy_time() const { return busy_accum_; }
+
+  // Fraction of [0, now] the core spent busy.
+  [[nodiscard]] double utilization() const;
+
+  // Time already committed beyond now() (queueing backlog depth).
+  [[nodiscard]] sim_time backlog() const;
+
+ private:
+  simulator& sim_;
+  std::string name_;
+  sim_time busy_until_ = sim_time::zero();
+  sim_time busy_accum_ = sim_time::zero();
+};
+
+}  // namespace nk::sim

@@ -1,0 +1,57 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace nk::sim {
+
+void timer::cancel() {
+  if (auto s = state_.lock()) s->cancelled = true;
+}
+
+bool timer::pending() const {
+  auto s = state_.lock();
+  return s && !s->cancelled && !s->fired;
+}
+
+simulator::simulator(std::uint64_t seed) : rng_{seed} {}
+
+timer simulator::schedule(sim_time delay, callback fn) {
+  assert(delay >= sim_time::zero() && "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+timer simulator::schedule_at(sim_time at, callback fn) {
+  assert(at >= now_ && "cannot schedule into the past");
+  auto st = std::make_shared<timer::state>();
+  queue_.push(entry{at, next_seq_++, std::move(fn), st});
+  return timer{std::move(st)};
+}
+
+void simulator::dispatch_next() {
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because pop() immediately discards the slot.
+  entry e = std::move(const_cast<entry&>(queue_.top()));
+  queue_.pop();
+  now_ = e.at;
+  if (e.st->cancelled) return;
+  e.st->fired = true;
+  ++processed_;
+  e.fn();
+}
+
+void simulator::run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) dispatch_next();
+}
+
+bool simulator::run_until(sim_time deadline) {
+  stopped_ = false;
+  while (!queue_.empty() && queue_.top().at <= deadline && !stopped_) {
+    dispatch_next();
+  }
+  if (stopped_) return false;
+  if (deadline > now_) now_ = deadline;
+  return true;
+}
+
+}  // namespace nk::sim

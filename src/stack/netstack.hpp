@@ -1,0 +1,226 @@
+// A complete userspace network stack instance: TCP (tcp::tcb) and UDP over
+// IPv4, bound to one netdev, with port allocation, 4-tuple demultiplexing,
+// listener/accept queues, an event queue (callback- or poll-driven), and a
+// per-packet CPU cost model charged to attached cores.
+//
+// The same class plays both roles in the paper's Figure 2: instantiated
+// inside a guest VM it is the legacy in-kernel stack (baseline); mounted
+// inside an NSM it is the provider-operated "network stack module" that
+// ServiceLib drives (NetKernel path). The stack is moved, not changed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "net/address.hpp"
+#include "net/packet.hpp"
+#include "phys/nic.hpp"
+#include "sim/cpu_core.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/tcb.hpp"
+
+namespace nk::stack {
+
+using socket_id = std::uint64_t;
+
+enum class socket_event_type {
+  connected,     // active open completed
+  accept_ready,  // listener has >=1 pending connection
+  readable,      // data or EOF available
+  writable,      // send-buffer space available
+  closed,        // connection fully closed
+  error,         // connection failed/reset; `error` field holds the reason
+};
+
+[[nodiscard]] std::string_view to_string(socket_event_type t);
+
+struct socket_event {
+  socket_id sock = 0;
+  socket_event_type type = socket_event_type::error;
+  errc error = errc::ok;
+};
+
+// CPU cost of moving one packet through the stack (either direction).
+// Per-byte cost is fractional nanoseconds: 0.25 ns/B caps one core at
+// ~32 Gb/s, which is what makes single flows CPU-bound in Figure 4.
+struct processing_cost {
+  sim_time per_packet = sim_time::zero();
+  double ns_per_byte = 0.0;
+
+  [[nodiscard]] sim_time of(std::size_t bytes) const {
+    return per_packet + sim_time{static_cast<std::int64_t>(
+                            ns_per_byte * static_cast<double>(bytes))};
+  }
+};
+
+struct netstack_config {
+  std::string name = "stack";
+  tcp::tcp_config tcp{};      // defaults for new TCP sockets
+  processing_cost tx_cost{};  // charged per transmitted packet
+  processing_cost rx_cost{};  // charged per received packet
+  std::uint16_t ephemeral_base = 49152;
+};
+
+struct netstack_stats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_packets = 0;
+  std::uint64_t rx_no_socket = 0;  // RST-answered or dropped
+  std::uint64_t resets_sent = 0;
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connections_accepted = 0;
+};
+
+namespace detail {
+
+// Per-socket state (namespace scope so std::variant can see completed
+// default constructors when the netstack members are declared).
+struct listener_state {
+  std::uint16_t port = 0;
+  std::size_t backlog = 128;
+  tcp::tcp_config cfg{};
+  std::deque<socket_id> pending;
+};
+
+struct connection_state {
+  std::unique_ptr<tcp::tcb> tcb;
+  sim::cpu_core* core = nullptr;
+  socket_id listener = 0;  // 0 for active opens
+  bool reported_established = false;
+};
+
+struct udp_state {
+  std::uint16_t port = 0;
+  std::deque<std::pair<net::socket_addr, buffer>> rx;
+};
+
+struct socket_entry {
+  std::variant<listener_state, connection_state, udp_state> state;
+};
+
+}  // namespace detail
+
+class netstack {
+ public:
+  netstack(sim::simulator& s, netstack_config cfg, net::ipv4_addr addr);
+
+  netstack(const netstack&) = delete;
+  netstack& operator=(const netstack&) = delete;
+
+  // Wiring ------------------------------------------------------------------
+
+  // Binds this stack to its network device (installs the rx handler).
+  void bind_netdev(phys::netdev& dev);
+
+  // Adds a processing core; connections are assigned cores round-robin.
+  // With no cores attached, processing is free (infinitely fast CPU).
+  void add_core(sim::cpu_core& core);
+
+  [[nodiscard]] net::ipv4_addr address() const { return addr_; }
+  [[nodiscard]] const std::string& name() const { return cfg_.name; }
+  [[nodiscard]] const netstack_stats& stats() const { return stats_; }
+  [[nodiscard]] sim::simulator& simulator() { return sim_; }
+
+  // TCP sockets ----------------------------------------------------------------
+
+  [[nodiscard]] result<socket_id> tcp_listen(
+      std::uint16_t port, std::optional<tcp::tcp_config> cfg = {});
+
+  [[nodiscard]] result<socket_id> tcp_connect(
+      net::socket_addr remote, std::optional<tcp::tcp_config> cfg = {});
+
+  // Pops one pending connection from a listener (would_block if none).
+  [[nodiscard]] result<socket_id> accept(socket_id listener);
+
+  [[nodiscard]] result<std::size_t> send(socket_id sock, buffer data);
+  [[nodiscard]] result<buffer> recv(socket_id sock, std::size_t max);
+
+  status shutdown_write(socket_id sock);
+  status close(socket_id sock);
+  status abort(socket_id sock);
+
+  [[nodiscard]] std::size_t recv_available(socket_id sock) const;
+  [[nodiscard]] std::size_t send_space(socket_id sock) const;
+  [[nodiscard]] bool eof(socket_id sock) const;
+
+  // UDP sockets ----------------------------------------------------------------
+
+  [[nodiscard]] result<socket_id> udp_open(std::uint16_t port = 0);
+  [[nodiscard]] result<std::size_t> udp_send_to(socket_id sock,
+                                                net::socket_addr dest,
+                                                buffer data);
+  [[nodiscard]] result<std::pair<net::socket_addr, buffer>> udp_recv_from(
+      socket_id sock);
+
+  // Events ---------------------------------------------------------------------
+
+  using event_handler = std::function<void(const socket_event&)>;
+
+  // Callback delivery: events are dispatched from a fresh simulator event,
+  // never re-entrantly from inside stack processing.
+  void set_event_handler(event_handler handler);
+
+  // Poll delivery (used by ServiceLib): drains one queued event.
+  [[nodiscard]] bool poll_event(socket_event& out);
+
+  // Introspection ----------------------------------------------------------------
+
+  // The connection state of a TCP socket; nullptr for listeners/UDP/unknown.
+  [[nodiscard]] tcp::tcb* tcb_of(socket_id sock);
+  [[nodiscard]] bool socket_exists(socket_id sock) const {
+    return sockets_.contains(sock);
+  }
+
+ private:
+  using listener_state = detail::listener_state;
+  using connection_state = detail::connection_state;
+  using udp_state = detail::udp_state;
+  using socket_entry = detail::socket_entry;
+
+  // --- internals ---------------------------------------------------------------
+  void packet_arrived(net::packet p);
+  void deliver_tcp(net::packet p);
+  void deliver_udp(net::packet p);
+  void transmit(sim::cpu_core* core, net::packet p);
+  void push_event(socket_event ev);
+  void dispatch_events();
+  [[nodiscard]] sim::cpu_core* pick_core();
+  [[nodiscard]] result<std::uint16_t> allocate_ephemeral_port();
+  [[nodiscard]] socket_id make_connection(net::four_tuple tuple,
+                                          const tcp::tcp_config& cfg,
+                                          socket_id listener);
+  void send_rst_for(const net::packet& p);
+  [[nodiscard]] connection_state* connection_of(socket_id sock);
+  [[nodiscard]] const connection_state* connection_of(socket_id sock) const;
+
+  sim::simulator& sim_;
+  netstack_config cfg_;
+  net::ipv4_addr addr_;
+  phys::netdev* dev_ = nullptr;
+  std::vector<sim::cpu_core*> cores_;
+  std::size_t next_core_ = 0;
+
+  std::unordered_map<socket_id, socket_entry> sockets_;
+  std::unordered_map<net::four_tuple, socket_id> tcp_demux_;
+  std::unordered_map<std::uint16_t, socket_id> tcp_listeners_;
+  std::unordered_map<std::uint16_t, socket_id> udp_ports_;
+  socket_id next_socket_ = 1;
+  std::uint16_t next_ephemeral_;
+
+  std::deque<socket_event> events_;
+  event_handler handler_;
+  bool dispatch_scheduled_ = false;
+
+  netstack_stats stats_;
+};
+
+}  // namespace nk::stack

@@ -1,0 +1,41 @@
+#include "tcp/cc/dctcp.hpp"
+
+#include <algorithm>
+
+namespace nk::tcp {
+
+dctcp::dctcp(const cc_config& cfg, const dctcp_params& params)
+    : newreno{cfg}, p_{params} {}
+
+void dctcp::on_ack(const ack_sample& ack) {
+  window_acked_ += ack.acked_bytes;
+  if (ack.ece) window_marked_ += ack.acked_bytes;
+
+  if (ack.delivered >= next_window_at_ && window_acked_ > 0) {
+    const double fraction = static_cast<double>(window_marked_) /
+                            static_cast<double>(window_acked_);
+    alpha_ = (1.0 - p_.gain) * alpha_ + p_.gain * fraction;
+
+    if (window_marked_ > 0) {
+      // DCTCP's proportional decrease replaces Reno's halving for ECN.
+      const double factor = 1.0 - alpha_ / 2.0;
+      cwnd_ = std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(static_cast<double>(cwnd_) * factor),
+          2 * cfg_.mss);
+      ssthresh_ = cwnd_;
+    }
+    window_acked_ = 0;
+    window_marked_ = 0;
+    next_window_at_ = ack.delivered + cwnd_;
+  }
+
+  // Additive increase is inherited (Reno slow start / CA) — but skip it if
+  // the window just shrank due to marks this ACK carried.
+  newreno::on_ack(ack);
+}
+
+std::string dctcp::state_summary() const {
+  return newreno::state_summary() + " alpha=" + std::to_string(alpha_);
+}
+
+}  // namespace nk::tcp

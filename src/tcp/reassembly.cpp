@@ -1,0 +1,78 @@
+#include "tcp/reassembly.hpp"
+
+namespace nk::tcp {
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+reassembly_buffer::held_ranges(std::size_t max) const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  for (const auto& [start, data] : segments_) {
+    const std::uint64_t end = start + data.size();
+    if (!out.empty() && out.back().second == start) {
+      out.back().second = end;  // adjacent segments coalesce into one block
+      continue;
+    }
+    if (out.size() == max) break;
+    out.emplace_back(start, end);
+  }
+  return out;
+}
+
+buffer_chain reassembly_buffer::insert(std::uint64_t at, buffer data,
+                                       std::uint64_t& next) {
+  // Trim anything already delivered.
+  if (at < next) {
+    const std::uint64_t stale = next - at;
+    if (stale >= data.size()) return {};
+    data = data.suffix_from(stale);
+    at = next;
+  }
+
+  buffer_chain out;
+  if (at == next) {
+    // Fast path: in-order arrival.
+    next += data.size();
+    out.append(std::move(data));
+  } else {
+    // Out-of-order: stash, trimming against an existing overlapping segment.
+    // Keep-first policy: bytes already held win (they are identical bytes in
+    // a correct TCP anyway).
+    auto it = segments_.upper_bound(at);
+    if (it != segments_.begin()) {
+      auto prev = std::prev(it);
+      const std::uint64_t prev_end = prev->first + prev->second.size();
+      if (prev_end > at) {
+        const std::uint64_t overlap = prev_end - at;
+        if (overlap >= data.size()) return {};
+        data = data.suffix_from(overlap);
+        at = prev_end;
+        it = segments_.upper_bound(at);
+      }
+    }
+    // Trim tail against following segments.
+    while (it != segments_.end() && !data.empty()) {
+      if (it->first >= at + data.size()) break;
+      data = data.prefix(it->first - at);
+    }
+    if (data.empty()) return {};
+    if (buffered_ + data.size() > limit_) return {};  // over budget: drop
+    buffered_ += data.size();
+    segments_.emplace(at, std::move(data));
+    return {};
+  }
+
+  // Drain any stored segments that are now contiguous.
+  auto it = segments_.begin();
+  while (it != segments_.end() && it->first <= next) {
+    buffer held = std::move(it->second);
+    const std::uint64_t start = it->first;
+    buffered_ -= held.size();
+    it = segments_.erase(it);
+    if (start + held.size() <= next) continue;  // fully duplicate
+    if (start < next) held = held.suffix_from(next - start);
+    next += held.size();
+    out.append(std::move(held));
+  }
+  return out;
+}
+
+}  // namespace nk::tcp

@@ -1,0 +1,40 @@
+// Out-of-order receive reassembly. Segments arriving beyond rcv_nxt are
+// held (trimmed against overlaps) until the gap fills, then released to the
+// in-order stream. Offsets are absolute 64-bit stream positions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/buffer.hpp"
+
+namespace nk::tcp {
+
+class reassembly_buffer {
+ public:
+  // `limit` bounds total buffered out-of-order bytes (beyond it, segments
+  // are dropped and must be retransmitted).
+  explicit reassembly_buffer(std::size_t limit = 4 * 1024 * 1024)
+      : limit_{limit} {}
+
+  // Inserts payload at absolute offset `at`. Returns any data that became
+  // contiguous at `next` (the current in-order edge), advancing it.
+  buffer_chain insert(std::uint64_t at, buffer data, std::uint64_t& next);
+
+  [[nodiscard]] std::size_t buffered_bytes() const { return buffered_; }
+  [[nodiscard]] bool empty() const { return segments_.empty(); }
+
+  // Up to `max` coalesced (start, end) ranges of held out-of-order data —
+  // the receiver's SACK blocks.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  held_ranges(std::size_t max) const;
+
+ private:
+  std::map<std::uint64_t, buffer> segments_;  // start offset -> payload
+  std::size_t buffered_ = 0;
+  std::size_t limit_;
+};
+
+}  // namespace nk::tcp

@@ -1,0 +1,44 @@
+// TCP sequence-number arithmetic.
+//
+// Internally the stack tracks absolute 64-bit stream offsets (which cannot
+// wrap in any feasible simulation) and converts to/from the 32-bit wire
+// sequence space at the segment boundary. unwrap() recovers the absolute
+// offset closest to a reference, which is exact while the receiver's
+// reference stays within 2^31 bytes of the sender — guaranteed by window
+// sizes.
+#pragma once
+
+#include <cstdint>
+
+namespace nk::tcp {
+
+// Wire sequence corresponding to absolute offset `abs` for a connection
+// whose initial sequence number is `isn`.
+[[nodiscard]] constexpr std::uint32_t wrap_seq(std::uint64_t abs,
+                                               std::uint32_t isn) {
+  return static_cast<std::uint32_t>(abs + isn);
+}
+
+// Absolute offset for wire sequence `wire`, chosen as the value congruent
+// to (wire - isn) mod 2^32 that is closest to `reference`.
+[[nodiscard]] constexpr std::uint64_t unwrap_seq(std::uint32_t wire,
+                                                 std::uint32_t isn,
+                                                 std::uint64_t reference) {
+  const std::uint32_t rel = wire - isn;  // modular arithmetic
+  const std::uint64_t base = reference & ~std::uint64_t{0xffffffff};
+  std::uint64_t candidate = base | rel;
+  // Pick the representative nearest the reference among {candidate - 2^32,
+  // candidate, candidate + 2^32}.
+  constexpr std::uint64_t span = std::uint64_t{1} << 32;
+  std::uint64_t best = candidate;
+  auto distance = [&](std::uint64_t v) {
+    return v > reference ? v - reference : reference - v;
+  };
+  if (candidate >= span && distance(candidate - span) < distance(best)) {
+    best = candidate - span;
+  }
+  if (distance(candidate + span) < distance(best)) best = candidate + span;
+  return best;
+}
+
+}  // namespace nk::tcp

@@ -1,0 +1,55 @@
+// Guest operating-system personalities.
+//
+// The personality captures exactly what the paper's motivation turns on:
+// which network stacks a tenant can use *natively*. BBR ships in Linux 4.9+;
+// a Windows Server guest runs Compound TCP and cannot run BBR without
+// NetKernel (§1: "Windows or FreeBSD VMs are then not able to use BBR
+// directly"). NetKernel lifts that restriction (Figure 5).
+#pragma once
+
+#include <string_view>
+
+#include "tcp/cc/congestion_controller.hpp"
+
+namespace nk::virt {
+
+enum class guest_os { linux_kernel, windows_server, freebsd };
+
+[[nodiscard]] constexpr std::string_view to_string(guest_os os) {
+  switch (os) {
+    case guest_os::linux_kernel: return "linux";
+    case guest_os::windows_server: return "windows";
+    case guest_os::freebsd: return "freebsd";
+  }
+  return "unknown";
+}
+
+// Default congestion control of the in-guest (legacy) stack.
+[[nodiscard]] constexpr tcp::cc_algorithm native_cc(guest_os os) {
+  switch (os) {
+    case guest_os::linux_kernel: return tcp::cc_algorithm::cubic;
+    case guest_os::windows_server: return tcp::cc_algorithm::compound;
+    case guest_os::freebsd: return tcp::cc_algorithm::newreno;
+  }
+  return tcp::cc_algorithm::newreno;
+}
+
+// Whether `algo` is deployable inside the guest kernel without NetKernel.
+[[nodiscard]] constexpr bool natively_available(guest_os os,
+                                                tcp::cc_algorithm algo) {
+  switch (os) {
+    case guest_os::linux_kernel:
+      return true;  // Linux ships all five (BBR since 4.9, DCTCP since 3.18)
+    case guest_os::windows_server:
+      return algo == tcp::cc_algorithm::compound ||
+             algo == tcp::cc_algorithm::newreno ||
+             algo == tcp::cc_algorithm::cubic ||  // CTCP default; Cubic opt-in
+             algo == tcp::cc_algorithm::dctcp;
+    case guest_os::freebsd:
+      return algo == tcp::cc_algorithm::newreno ||
+             algo == tcp::cc_algorithm::cubic;
+  }
+  return false;
+}
+
+}  // namespace nk::virt

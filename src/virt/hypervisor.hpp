@@ -1,0 +1,79 @@
+// A physical host: a pool of CPU cores, a vSwitch with software and
+// embedded (SR-IOV) paths, a physical NIC, and the VMs it hosts. Two hosts
+// are joined by connect_hosts() through a duplex link — the "testbed" of
+// the paper's §4, or the WAN path of Figure 5.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phys/link.hpp"
+#include "phys/nic.hpp"
+#include "sim/cpu_core.hpp"
+#include "sim/simulator.hpp"
+#include "virt/machine.hpp"
+#include "virt/vswitch.hpp"
+
+namespace nk::virt {
+
+struct host_config {
+  std::string name = "host";
+  int cores = 8;  // paper testbed: Xeon E5-2618LV3, 8 cores
+  vswitch_cost switch_cost{};
+};
+
+class hypervisor {
+ public:
+  hypervisor(sim::simulator& s, const host_config& cfg);
+
+  hypervisor(const hypervisor&) = delete;
+  hypervisor& operator=(const hypervisor&) = delete;
+
+  [[nodiscard]] sim::simulator& simulator() { return sim_; }
+  [[nodiscard]] const std::string& name() const { return cfg_.name; }
+  [[nodiscard]] vswitch& overlay_switch() { return vswitch_; }
+  [[nodiscard]] phys::nic& pnic() { return pnic_; }
+
+  // Takes a dedicated core from the host pool; nullptr when exhausted.
+  [[nodiscard]] sim::cpu_core* allocate_core();
+  [[nodiscard]] int cores_available() const;
+  [[nodiscard]] const std::vector<std::unique_ptr<sim::cpu_core>>& cores()
+      const {
+    return core_pool_;
+  }
+
+  // Creates a VM, wires its vNIC to the vSwitch (software port, or embedded
+  // port when cfg.sriov), and routes its address.
+  machine& create_vm(const vm_config& cfg);
+
+  [[nodiscard]] machine* vm_by_id(vm_id id);
+  [[nodiscard]] const std::vector<std::unique_ptr<machine>>& vms() const {
+    return vms_;
+  }
+
+  // Registers an extra netdev (e.g. an NSM's vNIC) on the vSwitch.
+  int attach_netdev(phys::nic& dev, net::ipv4_addr addr, bool sriov);
+
+  // Unique shared-memory region keys (IVSHMEM broker role).
+  [[nodiscard]] std::uint32_t next_region_key() { return next_region_key_++; }
+
+  // Joins two hosts through a duplex link owned by host `a`.
+  static phys::duplex_link& connect_hosts(hypervisor& a, hypervisor& b,
+                                          const phys::link_config& cfg);
+
+ private:
+  sim::simulator& sim_;
+  host_config cfg_;
+  std::vector<std::unique_ptr<sim::cpu_core>> core_pool_;
+  std::size_t next_core_ = 0;
+  vswitch vswitch_;
+  phys::nic pnic_;
+  std::vector<std::unique_ptr<machine>> vms_;
+  std::vector<std::unique_ptr<phys::duplex_link>> cables_;
+  vm_id next_vm_id_ = 1;
+  std::uint32_t next_region_key_ = 1;
+};
+
+}  // namespace nk::virt

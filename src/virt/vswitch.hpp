@@ -1,0 +1,84 @@
+// Hypervisor overlay switch (paper Figure 2): routes packets between tenant
+// vNICs, NSM vNICs and the physical NIC. Two data paths coexist:
+//
+//  * software path — the vSwitch process forwards the packet, charging a
+//    per-packet cost to a host core (OVS / Hyper-V Switch);
+//  * embedded path — an SR-IOV virtual function bypasses the host; the
+//    NIC's embedded hardware switch forwards for free.
+//
+// A hop is free only when *both* endpoints sit on the embedded switch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/cpu_core.hpp"
+
+namespace nk::virt {
+
+struct vswitch_stats {
+  std::uint64_t software_forwards = 0;
+  std::uint64_t embedded_forwards = 0;
+  std::uint64_t no_route = 0;
+};
+
+struct vswitch_cost {
+  sim_time per_packet = nanoseconds(250);
+  double ns_per_byte = 0.0;
+
+  [[nodiscard]] sim_time of(std::size_t bytes) const {
+    return per_packet + sim_time{static_cast<std::int64_t>(
+                            ns_per_byte * static_cast<double>(bytes))};
+  }
+};
+
+class vswitch {
+ public:
+  explicit vswitch(std::string name) : name_{std::move(name)} {}
+
+  using egress = std::function<void(net::packet)>;
+
+  // Adds a port. `bypass` = SR-IOV VF on the embedded switch.
+  int add_port(egress out, bool bypass);
+
+  // The uplink to the pNIC (hardware side; counts as bypass).
+  void set_uplink(egress out) { uplink_ = std::move(out); }
+
+  void set_route(net::ipv4_addr dst, int port) { routes_[dst] = port; }
+
+  // Software-path forwarding cost, charged to `core`.
+  void set_cost(sim::cpu_core* core, vswitch_cost cost) {
+    core_ = core;
+    cost_ = cost;
+  }
+
+  // `from_port` is the ingress port index, or uplink_port for the pNIC.
+  static constexpr int uplink_port = -1;
+  void ingress(int from_port, net::packet p);
+
+  [[nodiscard]] const vswitch_stats& stats() const { return stats_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct port {
+    egress out;
+    bool bypass = false;
+  };
+
+  void deliver(net::packet p, int to_port);
+  [[nodiscard]] bool is_bypass(int port_index) const;
+
+  std::string name_;
+  std::vector<port> ports_;
+  egress uplink_;
+  std::unordered_map<net::ipv4_addr, int> routes_;
+  sim::cpu_core* core_ = nullptr;
+  vswitch_cost cost_{};
+  vswitch_stats stats_;
+};
+
+}  // namespace nk::virt

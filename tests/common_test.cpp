@@ -1,0 +1,220 @@
+// Unit tests for src/common: buffers, chains, rng, stats, token bucket,
+// units.
+#include <gtest/gtest.h>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/token_bucket.hpp"
+#include "common/units.hpp"
+
+namespace nk {
+namespace {
+
+TEST(units, transmission_time_is_exact_for_round_rates) {
+  const auto rate = data_rate::gbps(40);
+  // 5000 bytes at 40 Gb/s = 1 us.
+  EXPECT_EQ(rate.transmission_time(5000), microseconds(1));
+}
+
+TEST(units, rate_of_inverts_transmission) {
+  const auto rate = rate_of(1'000'000, milliseconds(1));
+  EXPECT_DOUBLE_EQ(rate.bps(), 8e9);
+}
+
+TEST(units, zero_interval_rate_is_zero) {
+  EXPECT_TRUE(rate_of(1000, sim_time::zero()).is_zero());
+}
+
+TEST(units, rate_arithmetic) {
+  const auto r = data_rate::mbps(10) * 2.0 + data_rate::mbps(5);
+  EXPECT_DOUBLE_EQ(r.bps(), 25e6);
+  EXPECT_LT(data_rate::mbps(1), data_rate::mbps(2));
+}
+
+TEST(rng, deterministic_for_same_seed) {
+  rng a{42};
+  rng b{42};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(rng, different_seeds_diverge) {
+  rng a{1};
+  rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(rng, doubles_in_unit_interval) {
+  rng r{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(rng, chance_extremes) {
+  rng r{7};
+  EXPECT_FALSE(r.chance(0.0));
+  EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(rng, chance_matches_probability) {
+  rng r{11};
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(rng, exponential_mean) {
+  rng r{13};
+  double sum = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / trials, 5.0, 0.15);
+}
+
+TEST(buffer, pattern_roundtrip) {
+  const buffer b = buffer::pattern(4096, 1234);
+  EXPECT_TRUE(b.matches_pattern(1234));
+  EXPECT_FALSE(b.matches_pattern(1235));
+}
+
+TEST(buffer, slices_share_storage_and_match_offsets) {
+  const buffer b = buffer::pattern(1000, 0);
+  const buffer mid = b.slice(100, 200);
+  EXPECT_EQ(mid.size(), 200u);
+  EXPECT_TRUE(mid.matches_pattern(100));
+}
+
+TEST(buffer, slice_clamps_to_bounds) {
+  const buffer b = buffer::pattern(10, 0);
+  EXPECT_EQ(b.slice(5, 100).size(), 5u);
+  EXPECT_TRUE(b.slice(10, 1).empty());
+  EXPECT_TRUE(b.slice(99, 1).empty());
+}
+
+TEST(buffer, equality_compares_bytes) {
+  EXPECT_EQ(buffer::pattern(64, 7), buffer::pattern(64, 7));
+  EXPECT_FALSE(buffer::pattern(64, 7) == buffer::pattern(64, 8));
+}
+
+TEST(buffer_chain, append_and_pop_across_parts) {
+  buffer_chain chain;
+  chain.append(buffer::pattern(100, 0));
+  chain.append(buffer::pattern(100, 100));
+  chain.append(buffer::pattern(100, 200));
+  EXPECT_EQ(chain.size(), 300u);
+
+  const buffer head = chain.pop(150);
+  EXPECT_EQ(head.size(), 150u);
+  EXPECT_TRUE(head.matches_pattern(0));
+  EXPECT_EQ(chain.size(), 150u);
+
+  const buffer rest = chain.pop(1000);
+  EXPECT_TRUE(rest.matches_pattern(150));
+  EXPECT_TRUE(chain.empty());
+}
+
+TEST(buffer_chain, peek_does_not_consume) {
+  buffer_chain chain;
+  chain.append(buffer::pattern(64, 0));
+  chain.append(buffer::pattern(64, 64));
+  const buffer peeked = chain.peek(32, 64);
+  EXPECT_TRUE(peeked.matches_pattern(32));
+  EXPECT_EQ(chain.size(), 128u);
+}
+
+TEST(buffer_chain, splice_moves_everything) {
+  buffer_chain a;
+  buffer_chain b;
+  a.append(buffer::pattern(10, 0));
+  b.append(buffer::pattern(10, 10));
+  b.append(buffer::pattern(10, 20));
+  a.append(std::move(b));
+  EXPECT_EQ(a.size(), 30u);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(a.pop(30).matches_pattern(0));
+}
+
+TEST(buffer_chain, consume_partial_part) {
+  buffer_chain chain;
+  chain.append(buffer::pattern(100, 0));
+  chain.consume(30);
+  EXPECT_EQ(chain.size(), 70u);
+  EXPECT_TRUE(chain.pop(70).matches_pattern(30));
+}
+
+TEST(result, value_and_error_paths) {
+  result<int> ok{7};
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.error(), errc::ok);
+
+  result<int> bad{errc::would_block};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), errc::would_block);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(result, status_void) {
+  status good{};
+  EXPECT_TRUE(good.ok());
+  status bad{errc::not_found};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(to_string(bad.error()), "not_found");
+}
+
+TEST(stats, running_moments) {
+  running_stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(stats, percentiles) {
+  sample_set s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_EQ(s.percentile(0), 1.0);
+  EXPECT_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(99), 99.0, 1.0);
+  s.add(1000);  // re-sorting after append must work
+  EXPECT_EQ(s.max(), 1000.0);
+}
+
+TEST(token_bucket, starts_full_and_refills) {
+  token_bucket tb{data_rate::mbps(8), 1000};  // 1 MB/s, 1000 B burst
+  EXPECT_TRUE(tb.try_consume(sim_time::zero(), 1000));
+  EXPECT_FALSE(tb.try_consume(sim_time::zero(), 1));
+  // After 1 ms, 1000 bytes accumulated.
+  EXPECT_TRUE(tb.try_consume(milliseconds(1), 1000));
+}
+
+TEST(token_bucket, next_available_is_consistent) {
+  token_bucket tb{data_rate::mbps(8), 1000};
+  EXPECT_TRUE(tb.try_consume(sim_time::zero(), 1000));
+  const sim_time when = tb.next_available(sim_time::zero(), 500);
+  EXPECT_GE(when, microseconds(499));
+  EXPECT_TRUE(tb.try_consume(when, 500));
+}
+
+TEST(token_bucket, burst_caps_accumulation) {
+  token_bucket tb{data_rate::mbps(8), 1000};
+  EXPECT_NEAR(tb.tokens_at(seconds(100)), 1000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace nk

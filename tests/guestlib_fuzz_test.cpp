@@ -1,0 +1,123 @@
+// GuestLib robustness fuzz: random sequences of socket-API calls against a
+// live NetKernel channel must never crash, corrupt chunk accounting, or
+// wedge the channel. The adversary mixes valid and invalid fds, premature
+// operations, and interleaved closes while the simulation runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apps/scenario.hpp"
+#include "common/rng.hpp"
+
+namespace nk::core {
+namespace {
+
+using apps::side;
+using apps::testbed;
+
+class guestlib_fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(guestlib_fuzz, random_op_sequences_hold_invariants) {
+  testbed bed{apps::datacenter_params(GetParam())};
+  nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "fuzz-vm";
+  auto tenant = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "peer-vm";
+  nsm_cfg.name = "nsm-peer";
+  auto peer = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+
+  // A live echo service so some connects succeed.
+  auto& gp = *peer.glib;
+  const auto lfd = gp.nk_socket().value();
+  ASSERT_TRUE(gp.nk_bind(lfd, 7000).ok());
+  ASSERT_TRUE(gp.nk_listen(lfd).ok());
+  gp.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                           errc) {
+    if (fd == lfd && t == stack::socket_event_type::accept_ready) {
+      while (gp.nk_accept(lfd).ok()) {
+      }
+    }
+  });
+
+  auto& glib = *tenant.glib;
+  rng random{GetParam() * 7919 + 13};
+  std::vector<std::uint32_t> fds;
+  const net::socket_addr good{peer.module->config().address, 7000};
+  const net::socket_addr bad{peer.module->config().address, 9};
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t op = random.next_below(12);
+    const std::uint32_t fd =
+        fds.empty() || random.chance(0.1)
+            ? static_cast<std::uint32_t>(random.next_below(1 << 20))
+            : fds[random.next_below(fds.size())];
+    switch (op) {
+      case 0:
+        if (auto r = glib.nk_socket()) fds.push_back(r.value());
+        break;
+      case 1:
+        if (auto r = glib.nk_udp_open(
+                static_cast<std::uint16_t>(random.next_below(65536)))) {
+          fds.push_back(r.value());
+        }
+        break;
+      case 2:
+        (void)glib.nk_bind(fd, static_cast<std::uint16_t>(
+                                   random.next_below(65536)));
+        break;
+      case 3:
+        (void)glib.nk_listen(fd);
+        break;
+      case 4:
+        (void)glib.nk_connect(fd, random.chance(0.8) ? good : bad);
+        break;
+      case 5:
+        (void)glib.nk_send(fd, buffer::pattern(random.next_below(32768), 0));
+        break;
+      case 6:
+        (void)glib.nk_recv(fd, 1 + random.next_below(65536));
+        break;
+      case 7:
+        (void)glib.nk_udp_send_to(fd, good,
+                                  buffer::pattern(random.next_below(4096), 0));
+        break;
+      case 8:
+        (void)glib.nk_udp_recv_from(fd);
+        break;
+      case 9:
+        (void)glib.nk_shutdown(fd);
+        break;
+      case 10:
+        (void)glib.nk_close(fd);
+        std::erase(fds, fd);
+        break;
+      case 11:
+        (void)glib.nk_accept(fd);
+        break;
+      default:
+        break;
+    }
+    if (random.chance(0.3)) {
+      bed.run_for(microseconds(1 + random.next_below(2000)));
+    }
+  }
+  // Quiesce, close everything, and let completions settle.
+  for (const auto fd : fds) (void)glib.nk_close(fd);
+  bed.run_for(seconds(3));
+
+  // Invariant: every huge-page chunk came home.
+  auto* ch = bed.netkernel(side::a).channel_of(tenant.vm->id());
+  ASSERT_NE(ch, nullptr);
+  EXPECT_EQ(ch->pool.chunks_free(), ch->pool.chunk_count());
+  // Invariant: the channel queues drained (nothing wedged).
+  EXPECT_TRUE(ch->vm_q.job.empty_approx());
+  EXPECT_TRUE(ch->nsm_q.job.empty_approx());
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, guestlib_fuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace nk::core

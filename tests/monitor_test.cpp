@@ -1,0 +1,205 @@
+// Centralized management tests: health sampling, overload alerts, channel
+// stall detection, and the scale-up autoscaler (paper §5 / §2.1).
+#include <gtest/gtest.h>
+
+#include "apps/scenario.hpp"
+#include "apps/workloads.hpp"
+#include "core/monitor.hpp"
+
+namespace nk::core {
+namespace {
+
+using apps::side;
+using apps::testbed;
+
+TEST(health_monitor, samples_every_nsm_periodically) {
+  testbed bed{apps::datacenter_params(21)};
+  nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "t1";
+  auto t1 = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+
+  monitor_config mcfg;
+  mcfg.interval = milliseconds(5);
+  health_monitor mon{bed.netkernel(side::a), mcfg};
+  mon.start();
+  bed.run_for(milliseconds(52));
+
+  EXPECT_EQ(mon.ticks(), 10u);
+  EXPECT_EQ(mon.history_of(t1.module->id()).size(), 10u);
+  EXPECT_TRUE(mon.alerts().empty());  // idle NSM: no overload
+  EXPECT_NE(mon.report().find("util="), std::string::npos);
+  mon.stop();
+  bed.run_for(milliseconds(50));
+  EXPECT_EQ(mon.ticks(), 10u);  // stopped monitors stop ticking
+}
+
+TEST(health_monitor, overload_alert_fires_under_saturation) {
+  testbed bed{apps::datacenter_params(22)};
+  nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  // A heavy stack guarantees the single NSM core saturates.
+  nsm_cfg.tx_cost = stack::processing_cost{nanoseconds(300), 0.6};
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "tx";
+  auto tx = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "rx";
+  nsm_cfg.name = "nsm-rx";
+  auto rx = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+
+  apps::bulk_sink sink{*rx.api, 5001, false};
+  sink.start();
+  apps::bulk_sender_config scfg;
+  scfg.flows = 2;
+  scfg.bytes_per_flow = 0;
+  scfg.patterned = false;
+  apps::bulk_sender sender{*tx.api, {rx.module->config().address, 5001},
+                           scfg};
+  sender.start();
+
+  monitor_config mcfg;
+  mcfg.interval = milliseconds(5);
+  health_monitor mon{bed.netkernel(side::a), mcfg};
+  mon.start();
+  bed.run_for(milliseconds(200));
+
+  bool overloaded = false;
+  for (const auto& a : mon.alerts()) {
+    if (a.kind == alert_kind::nsm_overloaded &&
+        a.module == tx.module->id()) {
+      overloaded = true;
+    }
+  }
+  EXPECT_TRUE(overloaded);
+}
+
+TEST(health_monitor, stalled_channel_detected) {
+  // Batched-interrupt mode with a hand-pushed nqe and no doorbell: the job
+  // queue holds data but nothing drains it — a wedged channel.
+  auto params = apps::datacenter_params(23);
+  params.netkernel.notification.kind =
+      notify_config::mode::batched_interrupt;
+  testbed bed{params};
+  nsm_config nsm_cfg;
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "t1";
+  auto t1 = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+
+  auto* ch = bed.netkernel(side::a).channel_of(t1.vm->id());
+  shm::nqe junk;
+  junk.op = shm::nqe_op::req_send;
+  junk.handle = 424242;
+  ASSERT_TRUE(ch->vm_q.job.push(junk));  // no doorbell rung
+
+  monitor_config mcfg;
+  mcfg.interval = milliseconds(5);
+  health_monitor mon{bed.netkernel(side::a), mcfg};
+  mon.start();
+  bed.run_for(milliseconds(100));
+
+  bool stalled = false;
+  for (const auto& a : mon.alerts()) {
+    if (a.kind == alert_kind::channel_stalled && a.vm == t1.vm->id()) {
+      stalled = true;
+    }
+  }
+  EXPECT_TRUE(stalled);
+}
+
+TEST(failure_detection, dead_nsm_aborts_tenants_and_monitor_flags_channel) {
+  testbed bed{apps::datacenter_params(25)};
+  nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "client";
+  auto client = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "server";
+  nsm_cfg.name = "nsm-b";
+  auto server = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+
+  // Server listener + a connected tenant socket.
+  auto& gs = *server.glib;
+  const auto lfd = gs.nk_socket().value();
+  ASSERT_TRUE(gs.nk_bind(lfd, 7000).ok());
+  ASSERT_TRUE(gs.nk_listen(lfd).ok());
+  auto& gc = *client.glib;
+  const auto fd = gc.nk_socket().value();
+  bool connected = false;
+  errc tenant_error = errc::ok;
+  gc.set_event_handler([&](std::uint32_t f, stack::socket_event_type t,
+                           errc e) {
+    if (f != fd) return;
+    if (t == stack::socket_event_type::connected) connected = true;
+    if (t == stack::socket_event_type::error) tenant_error = e;
+  });
+  ASSERT_TRUE(
+      gc.nk_connect(fd, {server.module->config().address, 7000}).ok());
+  bed.run_for(milliseconds(50));
+  ASSERT_TRUE(connected);
+
+  monitor_config mcfg;
+  mcfg.interval = milliseconds(5);
+  health_monitor mon{bed.netkernel(side::a), mcfg};
+  mon.start();
+
+  // The client-side NSM dies.
+  bed.netkernel(side::a).service_of(client.module->id())->fail();
+  bed.run_for(milliseconds(50));
+
+  // Tenant saw the failure...
+  EXPECT_EQ(tenant_error, errc::connection_reset);
+
+  // ...and once the tenant issues new work, the dead module stops draining
+  // its job queue — the monitor flags the wedged channel.
+  const auto fd2 = gc.nk_socket().value();
+  (void)gc.nk_connect(fd2, {server.module->config().address, 7000});
+  bed.run_for(milliseconds(200));
+  bool stalled = false;
+  for (const auto& a : mon.alerts()) {
+    if (a.kind == alert_kind::channel_stalled && a.vm == client.vm->id()) {
+      stalled = true;
+    }
+  }
+  EXPECT_TRUE(stalled);
+}
+
+TEST(autoscaler, grants_cores_to_overloaded_nsm) {
+  testbed bed{apps::datacenter_params(24)};
+  nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  nsm_cfg.tx_cost = stack::processing_cost{nanoseconds(300), 0.6};
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "tx";
+  auto tx = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "rx";
+  nsm_cfg.name = "nsm-rx";
+  auto rx = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+
+  apps::bulk_sink sink{*rx.api, 5001, false};
+  sink.start();
+  apps::bulk_sender_config scfg;
+  scfg.flows = 3;
+  scfg.bytes_per_flow = 0;
+  scfg.patterned = false;
+  apps::bulk_sender sender{*tx.api, {rx.module->config().address, 5001},
+                           scfg};
+  sender.start();
+
+  monitor_config mcfg;
+  mcfg.interval = milliseconds(5);
+  health_monitor mon{bed.netkernel(side::a), mcfg};
+  autoscaler scaler{bed.netkernel(side::a), bed.host(side::a), mon,
+                    /*max_cores=*/3};
+  mon.start();
+
+  const auto cores_before = tx.module->cores().size();
+  bed.run_for(milliseconds(400));
+
+  EXPECT_GT(scaler.scale_ups(), 0);
+  EXPECT_GT(tx.module->cores().size(), cores_before);
+  EXPECT_LE(tx.module->cores().size(), 3u);
+}
+
+}  // namespace
+}  // namespace nk::core

@@ -1,0 +1,138 @@
+// queue_pump unit tests (polling vs batched-interrupt semantics) and
+// accounting/pricing unit tests.
+#include <gtest/gtest.h>
+
+#include "core/accounting.hpp"
+#include "core/notification.hpp"
+#include "sim/simulator.hpp"
+
+namespace nk::core {
+namespace {
+
+TEST(queue_pump, polling_fires_at_fixed_cadence) {
+  sim::simulator s;
+  int drains = 0;
+  notify_config cfg;
+  cfg.kind = notify_config::mode::polling;
+  cfg.poll_interval = microseconds(10);
+  queue_pump pump{s, cfg, [&] {
+                    ++drains;
+                    return std::size_t{0};
+                  }};
+  pump.start();
+  s.run_until(microseconds(105));
+  EXPECT_EQ(drains, 10);
+  EXPECT_EQ(pump.wakeups(), 10u);
+  pump.stop();
+  s.run_until(microseconds(205));
+  EXPECT_EQ(drains, 10);  // stopped pumps stop polling
+}
+
+TEST(queue_pump, polling_ignores_notify) {
+  sim::simulator s;
+  int drains = 0;
+  notify_config cfg;
+  cfg.kind = notify_config::mode::polling;
+  cfg.poll_interval = milliseconds(10);
+  queue_pump pump{s, cfg, [&] {
+                    ++drains;
+                    return std::size_t{1};
+                  }};
+  pump.start();
+  pump.notify();  // no effect in polling mode
+  s.run_until(milliseconds(5));
+  EXPECT_EQ(drains, 0);
+}
+
+TEST(queue_pump, batched_interrupt_coalesces_doorbells) {
+  sim::simulator s;
+  int drains = 0;
+  notify_config cfg;
+  cfg.kind = notify_config::mode::batched_interrupt;
+  cfg.interrupt_delay = microseconds(5);
+  queue_pump pump{s, cfg, [&] {
+                    ++drains;
+                    return std::size_t{3};
+                  }};
+  pump.start();
+  // Many doorbells inside one coalescing window: exactly one drain.
+  for (int i = 0; i < 50; ++i) pump.notify();
+  s.run_until(microseconds(10));
+  EXPECT_EQ(drains, 1);
+  EXPECT_EQ(pump.items_drained(), 3u);
+
+  // After the drain a fresh doorbell schedules a fresh wake-up.
+  pump.notify();
+  s.run_until(microseconds(20));
+  EXPECT_EQ(drains, 2);
+}
+
+TEST(queue_pump, batched_interrupt_idle_without_doorbell) {
+  sim::simulator s;
+  int drains = 0;
+  notify_config cfg;
+  cfg.kind = notify_config::mode::batched_interrupt;
+  queue_pump pump{s, cfg, [&] {
+                    ++drains;
+                    return std::size_t{0};
+                  }};
+  pump.start();
+  s.run_until(seconds(1));
+  EXPECT_EQ(drains, 0);  // no timers burn when nothing rings
+}
+
+TEST(queue_pump, notify_before_start_is_ignored) {
+  sim::simulator s;
+  int drains = 0;
+  notify_config cfg;
+  cfg.kind = notify_config::mode::batched_interrupt;
+  queue_pump pump{s, cfg, [&] {
+                    ++drains;
+                    return std::size_t{0};
+                  }};
+  pump.notify();
+  s.run_until(milliseconds(1));
+  EXPECT_EQ(drains, 0);
+}
+
+// --- accounting / pricing ------------------------------------------------------------
+
+TEST(accounting, charge_formulas) {
+  nsm_usage usage;
+  usage.wall_time = seconds(3600);  // one hour
+  usage.cpu_busy = seconds(1800);   // half a core-hour of cycles
+  usage.core_count = 2;
+  usage.memory_bytes = 1024ull * 1024 * 1024;
+  usage.bytes_moved = 10ull * 1000 * 1000 * 1000;  // 10 GB
+  usage.guaranteed_gbps = 5.0;
+
+  price_sheet sheet;
+  EXPECT_DOUBLE_EQ(charge(pricing_model::per_instance, usage, sheet),
+                   sheet.per_instance_hour);
+  EXPECT_DOUBLE_EQ(charge(pricing_model::per_core, usage, sheet),
+                   2 * sheet.per_core_hour);
+  EXPECT_DOUBLE_EQ(charge(pricing_model::usage_based, usage, sheet),
+                   1800 * sheet.per_cpu_second + 10 * sheet.per_gb_moved);
+  EXPECT_DOUBLE_EQ(charge(pricing_model::sla_based, usage, sheet),
+                   5.0 * sheet.per_gbps_guaranteed);
+}
+
+TEST(accounting, idle_instance_still_pays_flat_rate_but_not_usage) {
+  nsm_usage usage;
+  usage.wall_time = seconds(7200);
+  usage.core_count = 1;
+  EXPECT_GT(charge(pricing_model::per_instance, usage), 0.0);
+  EXPECT_DOUBLE_EQ(charge(pricing_model::usage_based, usage), 0.0);
+}
+
+TEST(accounting, invoice_line_mentions_model_and_charge) {
+  nsm_usage usage;
+  usage.wall_time = seconds(60);
+  usage.core_count = 1;
+  const std::string line = invoice_line(pricing_model::per_core, usage);
+  EXPECT_NE(line.find("per_core"), std::string::npos);
+  EXPECT_NE(line.find('$'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nk::core

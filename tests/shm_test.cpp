@@ -1,0 +1,226 @@
+// Unit tests for the shared-memory substrate: nqe layout, SPSC rings
+// (single-threaded semantics and a real two-thread stress), huge-page pool
+// isolation, and the prioritized queue set.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "shm/hugepage_pool.hpp"
+#include "shm/nqe.hpp"
+#include "shm/queue_set.hpp"
+#include "shm/spsc_ring.hpp"
+
+namespace nk::shm {
+namespace {
+
+TEST(nqe, is_one_cache_line) {
+  EXPECT_EQ(sizeof(nqe), 64u);
+  EXPECT_TRUE(std::is_trivially_copyable_v<nqe>);
+}
+
+TEST(nqe, connection_event_classification) {
+  EXPECT_TRUE(is_connection_event(nqe_op::req_connect));
+  EXPECT_TRUE(is_connection_event(nqe_op::ev_accept));
+  EXPECT_TRUE(is_connection_event(nqe_op::req_close));
+  EXPECT_FALSE(is_connection_event(nqe_op::req_send));
+  EXPECT_FALSE(is_connection_event(nqe_op::ev_data));
+  EXPECT_FALSE(is_connection_event(nqe_op::cmp_send));
+}
+
+TEST(spsc_ring, push_pop_roundtrip) {
+  spsc_ring<int> ring{8};
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  int v;
+  EXPECT_FALSE(ring.try_pop(v));  // empty
+}
+
+TEST(spsc_ring, capacity_rounds_to_power_of_two) {
+  spsc_ring<int> ring{5};
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(spsc_ring, wraps_around) {
+  spsc_ring<int> ring{4};
+  for (int round = 0; round < 100; ++round) {
+    ASSERT_TRUE(ring.try_push(round));
+    int v = -1;
+    ASSERT_TRUE(ring.try_pop(v));
+    ASSERT_EQ(v, round);
+  }
+}
+
+TEST(spsc_ring, batch_operations) {
+  spsc_ring<int> ring{8};
+  const int in[6] = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(ring.push_batch(std::span{in}), 6u);
+  int out[4] = {};
+  EXPECT_EQ(ring.pop_batch(std::span{out}), 4u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[3], 4);
+  EXPECT_EQ(ring.size_approx(), 2u);
+}
+
+TEST(spsc_ring, batch_push_partial_when_nearly_full) {
+  spsc_ring<int> ring{4};
+  const int in[6] = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(ring.push_batch(std::span{in}), 4u);
+}
+
+TEST(spsc_ring, peek_does_not_consume) {
+  spsc_ring<int> ring{4};
+  ASSERT_TRUE(ring.try_push(42));
+  int v = 0;
+  ASSERT_TRUE(ring.try_peek(v));
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(ring.size_approx(), 1u);
+}
+
+// Two real threads hammer the ring; every value must arrive exactly once,
+// in order. This is the code path bench/nqe_copy measures.
+TEST(spsc_ring, two_thread_stress_preserves_fifo) {
+  spsc_ring<std::uint64_t> ring{1024};
+  constexpr std::uint64_t count = 1'000'000;
+
+  std::thread producer{[&] {
+    for (std::uint64_t i = 0; i < count;) {
+      if (ring.try_push(i)) ++i;
+    }
+  }};
+
+  std::uint64_t expected = 0;
+  while (expected < count) {
+    std::uint64_t v;
+    if (ring.try_pop(v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+TEST(hugepage_pool, alloc_free_cycle) {
+  hugepage_config cfg;
+  cfg.page_size = 64 * 1024;
+  cfg.page_count = 2;
+  cfg.chunk_size = 8 * 1024;
+  hugepage_pool pool{1, cfg};
+  EXPECT_EQ(pool.chunk_count(), 16u);
+  EXPECT_EQ(pool.chunks_free(), 16u);
+
+  auto c = pool.alloc();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(pool.chunks_free(), 15u);
+  EXPECT_TRUE(pool.free(c.value()).ok());
+  EXPECT_EQ(pool.chunks_free(), 16u);
+}
+
+TEST(hugepage_pool, exhaustion_reports_resource_exhausted) {
+  hugepage_config cfg;
+  cfg.page_size = 16 * 1024;
+  cfg.page_count = 1;
+  cfg.chunk_size = 8 * 1024;
+  hugepage_pool pool{1, cfg};
+  auto a = pool.alloc();
+  auto b = pool.alloc();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = pool.alloc();
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.error(), errc::resource_exhausted);
+}
+
+TEST(hugepage_pool, rejects_foreign_descriptors) {
+  hugepage_pool mine{1};
+  hugepage_pool theirs{2};
+  auto c = theirs.alloc();
+  ASSERT_TRUE(c.ok());
+  // A descriptor minted by pool 2 must not grant access to pool 1 — the
+  // §3.1 isolation property.
+  EXPECT_EQ(mine.writable(c.value()).error(), errc::permission_denied);
+  EXPECT_EQ(mine.free(c.value()).error(), errc::permission_denied);
+  data_descriptor d{c.value(), 0, 16};
+  EXPECT_EQ(mine.readable(d).error(), errc::permission_denied);
+}
+
+TEST(hugepage_pool, rejects_double_free_and_stale_refs) {
+  hugepage_pool pool{1};
+  auto c = pool.alloc();
+  ASSERT_TRUE(pool.free(c.value()).ok());
+  EXPECT_EQ(pool.free(c.value()).error(), errc::not_found);
+  EXPECT_EQ(pool.writable(c.value()).error(), errc::not_found);
+}
+
+TEST(hugepage_pool, bounds_checked_descriptors) {
+  hugepage_pool pool{1};
+  auto c = pool.alloc();
+  data_descriptor too_long{c.value(), 4096,
+                           static_cast<std::uint32_t>(pool.chunk_size())};
+  EXPECT_EQ(pool.readable(too_long).error(), errc::invalid_argument);
+  data_descriptor bad_index{chunk_ref{1, 1u << 30}, 0, 16};
+  EXPECT_EQ(pool.readable(bad_index).error(), errc::invalid_argument);
+}
+
+TEST(hugepage_pool, data_written_is_read_back) {
+  hugepage_pool pool{9};
+  auto c = pool.alloc();
+  auto w = pool.writable(c.value());
+  ASSERT_TRUE(w.ok());
+  for (std::size_t i = 0; i < 256; ++i) {
+    w.value()[i] = static_cast<std::byte>(i);
+  }
+  auto r = pool.readable(data_descriptor{c.value(), 0, 256});
+  ASSERT_TRUE(r.ok());
+  for (std::size_t i = 0; i < 256; ++i) {
+    ASSERT_EQ(r.value()[i], static_cast<std::byte>(i));
+  }
+}
+
+TEST(nqe_queue, fifo_when_not_prioritized) {
+  nqe_queue q{queue_config{.depth = 16, .prioritized = false}};
+  nqe data;
+  data.op = nqe_op::req_send;
+  nqe conn;
+  conn.op = nqe_op::req_connect;
+  ASSERT_TRUE(q.push(data));
+  ASSERT_TRUE(q.push(conn));
+  nqe out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.op, nqe_op::req_send);  // strict FIFO
+}
+
+TEST(nqe_queue, connection_events_bypass_data_when_prioritized) {
+  nqe_queue q{queue_config{.depth = 16, .prioritized = true}};
+  nqe data;
+  data.op = nqe_op::req_send;
+  nqe conn;
+  conn.op = nqe_op::req_connect;
+  ASSERT_TRUE(q.push(data));
+  ASSERT_TRUE(q.push(data));
+  ASSERT_TRUE(q.push(conn));
+  nqe out;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.op, nqe_op::req_connect);  // jumped the data queue
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out.op, nqe_op::req_send);
+  EXPECT_EQ(q.size_approx(), 1u);
+}
+
+TEST(endpoint_queues, three_independent_queues) {
+  endpoint_queues eq{queue_config{.depth = 4}};
+  nqe e;
+  e.op = nqe_op::req_send;
+  ASSERT_TRUE(eq.job.push(e));
+  EXPECT_TRUE(eq.completion.empty_approx());
+  EXPECT_TRUE(eq.receive.empty_approx());
+  EXPECT_EQ(eq.job.size_approx(), 1u);
+}
+
+}  // namespace
+}  // namespace nk::shm

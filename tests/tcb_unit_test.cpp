@@ -1,0 +1,337 @@
+// White-box tcb tests: a single TCP control block driven with hand-crafted
+// segments, no stack or network below it. Covers wire-level behaviours the
+// loopback tests cannot isolate: exact flags, ECN negotiation bits, Karn's
+// rule, zero-window probes, simultaneous close, timestamp echo.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "tcp/seq.hpp"
+#include "tcp/tcb.hpp"
+
+namespace nk::tcp {
+namespace {
+
+constexpr std::uint32_t peer_isn = 9000;
+
+// Harness: owns one tcb, captures everything it emits, and lets tests
+// inject peer segments.
+struct tcb_harness {
+  explicit tcb_harness(tcp_config cfg = make_cfg()) {
+    tcb::environment env;
+    env.sim = &sim;
+    env.emit = [this](net::packet p) { sent.push_back(std::move(p)); };
+    env.on_connected = [this] { connected = true; };
+    env.on_readable = [this] { ++readable_events; };
+    env.on_writable = [this] { ++writable_events; };
+    env.on_closed = [this](errc reason) {
+      closed = true;
+      close_reason = reason;
+    };
+    net::four_tuple tuple{{net::ipv4_addr::from_octets(10, 0, 0, 1), 1000},
+                          {net::ipv4_addr::from_octets(10, 0, 0, 2), 2000}};
+    conn = std::make_unique<tcb>(std::move(env), cfg, tuple, /*iss=*/5000);
+  }
+
+  static tcp_config make_cfg() {
+    tcp_config cfg;
+    cfg.mss = 1000;
+    cfg.cc = cc_algorithm::newreno;
+    cfg.rto.min_rto = milliseconds(50);
+    cfg.delayed_ack_timeout = milliseconds(5);
+    return cfg;
+  }
+
+  // Builds a peer segment. seq/ack are the peer's absolute stream offsets
+  // (peer ISN = peer_isn; our ISS = 5000).
+  net::packet peer_segment(std::uint64_t seq_abs, std::uint64_t ack_abs,
+                           net::tcp_flags flags, buffer payload = {},
+                           std::uint32_t wnd = 1 << 20) {
+    net::packet p;
+    p.ip.src = net::ipv4_addr::from_octets(10, 0, 0, 2);
+    p.ip.dst = net::ipv4_addr::from_octets(10, 0, 0, 1);
+    net::tcp_header h;
+    h.src_port = 2000;
+    h.dst_port = 1000;
+    h.seq = wrap_seq(seq_abs, peer_isn);
+    if (flags.ack) h.ack = wrap_seq(ack_abs, 5000);
+    h.flags = flags;
+    h.wnd = wnd;
+    p.l4 = h;
+    p.payload = std::move(payload);
+    return p;
+  }
+
+  // Completes the three-way handshake as the active opener.
+  void establish() {
+    conn->connect();
+    sim.run_until(sim.now() + microseconds(10));
+    ASSERT_FALSE(sent.empty());
+    ASSERT_TRUE(sent.front().tcp().flags.syn);
+    sent.clear();
+    net::tcp_flags synack;
+    synack.syn = true;
+    synack.ack = true;
+    conn->segment_arrived(peer_segment(0, 1, synack));
+    sim.run_until(sim.now() + microseconds(10));
+    ASSERT_TRUE(connected);
+    sent.clear();
+  }
+
+  net::packet last_sent() { return sent.back(); }
+
+  sim::simulator sim;
+  std::unique_ptr<tcb> conn;
+  std::deque<net::packet> sent;
+  bool connected = false;
+  bool closed = false;
+  errc close_reason = errc::ok;
+  int readable_events = 0;
+  int writable_events = 0;
+};
+
+TEST(tcb_wire, syn_carries_correct_iss_and_no_ack) {
+  tcb_harness h;
+  h.conn->connect();
+  h.sim.run_until(microseconds(10));
+  ASSERT_EQ(h.sent.size(), 1u);
+  const auto& syn = h.sent[0].tcp();
+  EXPECT_TRUE(syn.flags.syn);
+  EXPECT_FALSE(syn.flags.ack);
+  EXPECT_EQ(syn.seq, 5000u);
+  EXPECT_EQ(h.conn->state(), tcp_state::syn_sent);
+}
+
+TEST(tcb_wire, handshake_ack_numbers_are_exact) {
+  tcb_harness h;
+  h.establish();
+  // Send one data byte; the segment must carry seq = ISS+1, ack = IRS+1.
+  ASSERT_TRUE(h.conn->send(buffer::pattern(1, 0)).ok());
+  h.sim.run_until(h.sim.now() + microseconds(10));
+  ASSERT_FALSE(h.sent.empty());
+  const auto& d = h.last_sent().tcp();
+  EXPECT_EQ(d.seq, 5001u);
+  EXPECT_EQ(d.ack, peer_isn + 1);
+  EXPECT_TRUE(d.flags.psh);
+}
+
+TEST(tcb_wire, timestamps_echo_peer_ts_val) {
+  tcb_harness h;
+  h.establish();
+  net::tcp_flags ack;
+  ack.ack = true;
+  auto seg = h.peer_segment(1, 1, ack, buffer::pattern(100, 0));
+  seg.tcp().ts_val = 0xdeadbeef;
+  h.conn->segment_arrived(seg);
+  h.sim.run_until(h.sim.now() + milliseconds(10));
+  ASSERT_FALSE(h.sent.empty());
+  EXPECT_EQ(h.last_sent().tcp().ts_ecr, 0xdeadbeef);
+}
+
+TEST(tcb_wire, rst_tears_down_immediately) {
+  tcb_harness h;
+  h.establish();
+  net::tcp_flags rst;
+  rst.rst = true;
+  h.conn->segment_arrived(h.peer_segment(1, 1, rst));
+  EXPECT_TRUE(h.closed);
+  EXPECT_EQ(h.close_reason, errc::connection_reset);
+  EXPECT_EQ(h.conn->state(), tcp_state::closed);
+}
+
+TEST(tcb_wire, abort_emits_rst) {
+  tcb_harness h;
+  h.establish();
+  h.conn->abort();
+  ASSERT_FALSE(h.sent.empty());
+  EXPECT_TRUE(h.last_sent().tcp().flags.rst);
+  EXPECT_TRUE(h.closed);
+}
+
+TEST(tcb_karn, no_rtt_sample_from_retransmission) {
+  tcb_harness h;
+  h.establish();
+  ASSERT_TRUE(h.conn->send(buffer::pattern(1000, 0)).ok());
+  h.sim.run_until(h.sim.now() + microseconds(10));
+  const sim_time srtt_before = h.conn->rtt().srtt();
+
+  // Let the RTO fire (segment "lost"), then ack the retransmission much
+  // later. Karn: the late ack must not poison srtt.
+  h.sim.run_until(h.sim.now() + seconds(2));
+  EXPECT_GT(h.conn->stats().rtos, 0u);
+  net::tcp_flags ack;
+  ack.ack = true;
+  h.conn->segment_arrived(h.peer_segment(1, 1001, ack));
+  // srtt unchanged (no valid sample was available in this exchange).
+  EXPECT_EQ(h.conn->rtt().srtt(), srtt_before);
+}
+
+TEST(tcb_zero_window, probe_carries_one_byte) {
+  tcb_harness h;
+  h.establish();
+  // Peer closes its window entirely.
+  net::tcp_flags ack;
+  ack.ack = true;
+  h.conn->segment_arrived(h.peer_segment(1, 1, ack, {}, /*wnd=*/0));
+  ASSERT_TRUE(h.conn->send(buffer::pattern(5000, 0)).ok());
+  h.sent.clear();
+  // Persist timer fires within a few RTOs.
+  h.sim.run_until(h.sim.now() + seconds(3));
+  ASSERT_FALSE(h.sent.empty());
+  bool saw_probe = false;
+  for (const auto& p : h.sent) {
+    if (p.payload.size() == 1) saw_probe = true;
+  }
+  EXPECT_TRUE(saw_probe);
+
+  // Window reopens: transfer resumes in full segments.
+  h.sent.clear();
+  std::uint64_t acked = h.conn->stats().bytes_acked;
+  h.conn->segment_arrived(h.peer_segment(1, 1 + acked, ack, {}, 1 << 20));
+  h.sim.run_until(h.sim.now() + milliseconds(10));
+  EXPECT_FALSE(h.sent.empty());
+  EXPECT_EQ(h.sent.front().payload.size(), 1000u);
+}
+
+TEST(tcb_close, simultaneous_close_reaches_closed) {
+  tcb_harness h;
+  h.establish();
+  h.conn->close();  // our FIN goes out
+  h.sim.run_until(h.sim.now() + microseconds(10));
+  ASSERT_TRUE(h.last_sent().tcp().flags.fin);
+  EXPECT_EQ(h.conn->state(), tcp_state::fin_wait_1);
+
+  // Peer's FIN crosses ours (acks only our SYN-era data, not the FIN).
+  net::tcp_flags fin;
+  fin.fin = true;
+  fin.ack = true;
+  h.conn->segment_arrived(h.peer_segment(1, 1, fin));
+  EXPECT_EQ(h.conn->state(), tcp_state::closing);
+
+  // Now the peer acks our FIN: TIME_WAIT, then closed after the timeout.
+  net::tcp_flags ack;
+  ack.ack = true;
+  h.conn->segment_arrived(h.peer_segment(2, 2, ack));
+  EXPECT_EQ(h.conn->state(), tcp_state::time_wait);
+  h.sim.run_until(h.sim.now() + seconds(2));
+  EXPECT_TRUE(h.closed);
+  EXPECT_EQ(h.close_reason, errc::ok);
+}
+
+TEST(tcb_close, half_close_still_receives) {
+  tcb_harness h;
+  h.establish();
+  h.conn->shutdown_write();
+  h.sim.run_until(h.sim.now() + microseconds(10));
+  EXPECT_EQ(h.conn->state(), tcp_state::fin_wait_1);
+
+  // Peer acks the FIN, then keeps sending data: we must accept and ack it.
+  net::tcp_flags ack;
+  ack.ack = true;
+  h.conn->segment_arrived(h.peer_segment(1, 2, ack));
+  EXPECT_EQ(h.conn->state(), tcp_state::fin_wait_2);
+  h.conn->segment_arrived(h.peer_segment(1, 2, ack, buffer::pattern(500, 0)));
+  h.sim.run_until(h.sim.now() + milliseconds(10));
+  EXPECT_EQ(h.conn->receive_available(), 500u);
+  EXPECT_TRUE(h.conn->receive(500).matches_pattern(0));
+}
+
+TEST(tcb_recv, out_of_order_acks_carry_sack_blocks) {
+  tcb_harness h;
+  h.establish();
+  net::tcp_flags ack;
+  ack.ack = true;
+  // Peer data arrives with a hole: bytes [1001,2001) but not [1,1001).
+  h.conn->segment_arrived(
+      h.peer_segment(1001, 1, ack, buffer::pattern(1000, 1000)));
+  h.sim.run_until(h.sim.now() + milliseconds(10));
+  ASSERT_FALSE(h.sent.empty());
+  const auto& out = h.last_sent().tcp();
+  ASSERT_GE(out.sack_count, 1);
+  // The SACK block names the held range in the peer's sequence space.
+  EXPECT_EQ(out.sacks[0].start, wrap_seq(1001, peer_isn));
+  EXPECT_EQ(out.sacks[0].end, wrap_seq(2001, peer_isn));
+}
+
+TEST(tcb_recv, duplicate_fin_is_reacked_not_reprocessed) {
+  tcb_harness h;
+  h.establish();
+  net::tcp_flags fin;
+  fin.fin = true;
+  fin.ack = true;
+  h.conn->segment_arrived(h.peer_segment(1, 1, fin));
+  EXPECT_EQ(h.conn->state(), tcp_state::close_wait);
+  const int readable_before = h.readable_events;
+  h.sent.clear();
+  h.conn->segment_arrived(h.peer_segment(1, 1, fin));  // retransmitted FIN
+  EXPECT_EQ(h.conn->state(), tcp_state::close_wait);
+  EXPECT_EQ(h.readable_events, readable_before);  // EOF reported once
+  EXPECT_FALSE(h.sent.empty());                   // but re-acked
+}
+
+TEST(tcb_ecn, dctcp_negotiates_and_echoes_ce) {
+  tcp_config cfg = tcb_harness::make_cfg();
+  cfg.cc = cc_algorithm::dctcp;
+  tcb_harness h{cfg};
+  h.conn->connect();
+  h.sim.run_until(microseconds(10));
+  // SYN must request ECN (ECE+CWR).
+  EXPECT_TRUE(h.sent.front().tcp().flags.ece);
+  EXPECT_TRUE(h.sent.front().tcp().flags.cwr);
+  h.sent.clear();
+
+  net::tcp_flags synack;
+  synack.syn = true;
+  synack.ack = true;
+  synack.ece = true;  // peer confirms ECN
+  h.conn->segment_arrived(h.peer_segment(0, 1, synack));
+  h.sim.run_until(h.sim.now() + microseconds(10));
+  ASSERT_TRUE(h.conn->ecn_active());
+
+  // A CE-marked data segment arrives: the ACK must carry ECE.
+  net::tcp_flags ack;
+  ack.ack = true;
+  auto seg = h.peer_segment(1, 1, ack, buffer::pattern(100, 0));
+  seg.ip.ecn = net::ecn_codepoint::ce;
+  h.sent.clear();
+  h.conn->segment_arrived(seg);
+  h.sim.run_until(h.sim.now() + milliseconds(10));
+  ASSERT_FALSE(h.sent.empty());
+  EXPECT_TRUE(h.last_sent().tcp().flags.ece);
+
+  // Our own data segments are ECT(0)-marked.
+  ASSERT_TRUE(h.conn->send(buffer::pattern(100, 0)).ok());
+  h.sim.run_until(h.sim.now() + microseconds(10));
+  EXPECT_EQ(h.last_sent().ip.ecn, net::ecn_codepoint::ect0);
+}
+
+TEST(tcb_ecn, plain_cubic_does_not_negotiate) {
+  tcb_harness h;  // newreno, no ECN
+  h.conn->connect();
+  h.sim.run_until(microseconds(10));
+  EXPECT_FALSE(h.sent.front().tcp().flags.ece);
+  h.establish();
+  EXPECT_FALSE(h.conn->ecn_active());
+}
+
+TEST(tcb_buffers, send_respects_buffer_capacity) {
+  tcp_config cfg = tcb_harness::make_cfg();
+  cfg.send_buffer = 4000;
+  tcb_harness h{cfg};
+  h.establish();
+  auto r = h.conn->send(buffer::pattern(10000, 0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 4000u);
+  EXPECT_EQ(h.conn->send_space(), 0u);
+  EXPECT_EQ(h.conn->send(buffer::pattern(1, 0)).error(), errc::would_block);
+}
+
+TEST(tcb_buffers, send_after_shutdown_rejected) {
+  tcb_harness h;
+  h.establish();
+  h.conn->shutdown_write();
+  EXPECT_EQ(h.conn->send(buffer::pattern(10, 0)).error(), errc::closed);
+}
+
+}  // namespace
+}  // namespace nk::tcp

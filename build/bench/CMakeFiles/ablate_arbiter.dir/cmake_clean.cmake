@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_arbiter.dir/ablate_arbiter.cpp.o"
+  "CMakeFiles/ablate_arbiter.dir/ablate_arbiter.cpp.o.d"
+  "ablate_arbiter"
+  "ablate_arbiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_arbiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_chunk_size.dir/ablate_chunk_size.cpp.o"
+  "CMakeFiles/ablate_chunk_size.dir/ablate_chunk_size.cpp.o.d"
+  "ablate_chunk_size"
+  "ablate_chunk_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_chunk_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_incast.dir/ablate_incast.cpp.o"
+  "CMakeFiles/ablate_incast.dir/ablate_incast.cpp.o.d"
+  "ablate_incast"
+  "ablate_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

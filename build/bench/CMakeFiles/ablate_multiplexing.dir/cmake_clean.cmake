@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_multiplexing.dir/ablate_multiplexing.cpp.o"
+  "CMakeFiles/ablate_multiplexing.dir/ablate_multiplexing.cpp.o.d"
+  "ablate_multiplexing"
+  "ablate_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_notification.dir/ablate_notification.cpp.o"
+  "CMakeFiles/ablate_notification.dir/ablate_notification.cpp.o.d"
+  "ablate_notification"
+  "ablate_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

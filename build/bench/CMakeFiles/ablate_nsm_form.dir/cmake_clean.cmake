@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_nsm_form.dir/ablate_nsm_form.cpp.o"
+  "CMakeFiles/ablate_nsm_form.dir/ablate_nsm_form.cpp.o.d"
+  "ablate_nsm_form"
+  "ablate_nsm_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_nsm_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

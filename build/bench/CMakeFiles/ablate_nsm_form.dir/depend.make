@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_nsm_form.
+# This may be replaced when dependencies are built.

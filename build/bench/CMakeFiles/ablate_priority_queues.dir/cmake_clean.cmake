@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_priority_queues.dir/ablate_priority_queues.cpp.o"
+  "CMakeFiles/ablate_priority_queues.dir/ablate_priority_queues.cpp.o.d"
+  "ablate_priority_queues"
+  "ablate_priority_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_priority_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

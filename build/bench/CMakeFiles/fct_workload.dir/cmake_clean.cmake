@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fct_workload.dir/fct_workload.cpp.o"
+  "CMakeFiles/fct_workload.dir/fct_workload.cpp.o.d"
+  "fct_workload"
+  "fct_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fct_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

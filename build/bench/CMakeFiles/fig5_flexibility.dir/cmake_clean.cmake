@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_flexibility.dir/fig5_flexibility.cpp.o"
+  "CMakeFiles/fig5_flexibility.dir/fig5_flexibility.cpp.o.d"
+  "fig5_flexibility"
+  "fig5_flexibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_flexibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nqe_copy.dir/nqe_copy.cpp.o"
+  "CMakeFiles/nqe_copy.dir/nqe_copy.cpp.o.d"
+  "nqe_copy"
+  "nqe_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nqe_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

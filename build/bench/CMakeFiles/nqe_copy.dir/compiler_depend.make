@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nqe_copy.
+# This may be replaced when dependencies are built.

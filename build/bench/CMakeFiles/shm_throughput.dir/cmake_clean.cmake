@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_throughput.dir/shm_throughput.cpp.o"
+  "CMakeFiles/shm_throughput.dir/shm_throughput.cpp.o.d"
+  "shm_throughput"
+  "shm_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_memcpy_latency.dir/table1_memcpy_latency.cpp.o"
+  "CMakeFiles/table1_memcpy_latency.dir/table1_memcpy_latency.cpp.o.d"
+  "table1_memcpy_latency"
+  "table1_memcpy_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_memcpy_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers_per_stack.dir/containers_per_stack.cpp.o"
+  "CMakeFiles/containers_per_stack.dir/containers_per_stack.cpp.o.d"
+  "containers_per_stack"
+  "containers_per_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers_per_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

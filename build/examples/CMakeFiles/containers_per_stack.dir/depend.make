@@ -1,0 +1,2 @@
+# Empty dependencies file for containers_per_stack.
+# This may be replaced when dependencies are built.

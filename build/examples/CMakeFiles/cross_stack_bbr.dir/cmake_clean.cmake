@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_stack_bbr.dir/cross_stack_bbr.cpp.o"
+  "CMakeFiles/cross_stack_bbr.dir/cross_stack_bbr.cpp.o.d"
+  "cross_stack_bbr"
+  "cross_stack_bbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_stack_bbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_vs_nsaas.dir/legacy_vs_nsaas.cpp.o"
+  "CMakeFiles/legacy_vs_nsaas.dir/legacy_vs_nsaas.cpp.o.d"
+  "legacy_vs_nsaas"
+  "legacy_vs_nsaas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_vs_nsaas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for legacy_vs_nsaas.
+# This may be replaced when dependencies are built.

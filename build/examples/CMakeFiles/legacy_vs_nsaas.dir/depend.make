@@ -1,0 +1,2 @@
+# Empty dependencies file for legacy_vs_nsaas.
+# This may be replaced when dependencies are built.

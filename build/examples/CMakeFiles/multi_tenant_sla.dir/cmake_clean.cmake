@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_sla.dir/multi_tenant_sla.cpp.o"
+  "CMakeFiles/multi_tenant_sla.dir/multi_tenant_sla.cpp.o.d"
+  "multi_tenant_sla"
+  "multi_tenant_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

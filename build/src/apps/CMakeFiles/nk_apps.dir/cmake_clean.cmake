@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nk_apps.dir/flowgen.cpp.o"
+  "CMakeFiles/nk_apps.dir/flowgen.cpp.o.d"
+  "CMakeFiles/nk_apps.dir/scenario.cpp.o"
+  "CMakeFiles/nk_apps.dir/scenario.cpp.o.d"
+  "CMakeFiles/nk_apps.dir/socket_api.cpp.o"
+  "CMakeFiles/nk_apps.dir/socket_api.cpp.o.d"
+  "CMakeFiles/nk_apps.dir/workloads.cpp.o"
+  "CMakeFiles/nk_apps.dir/workloads.cpp.o.d"
+  "libnk_apps.a"
+  "libnk_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nk_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nk_common.dir/buffer.cpp.o"
+  "CMakeFiles/nk_common.dir/buffer.cpp.o.d"
+  "CMakeFiles/nk_common.dir/log.cpp.o"
+  "CMakeFiles/nk_common.dir/log.cpp.o.d"
+  "CMakeFiles/nk_common.dir/rng.cpp.o"
+  "CMakeFiles/nk_common.dir/rng.cpp.o.d"
+  "CMakeFiles/nk_common.dir/stats.cpp.o"
+  "CMakeFiles/nk_common.dir/stats.cpp.o.d"
+  "CMakeFiles/nk_common.dir/token_bucket.cpp.o"
+  "CMakeFiles/nk_common.dir/token_bucket.cpp.o.d"
+  "libnk_common.a"
+  "libnk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

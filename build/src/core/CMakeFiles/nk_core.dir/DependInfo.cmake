@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accounting.cpp" "src/core/CMakeFiles/nk_core.dir/accounting.cpp.o" "gcc" "src/core/CMakeFiles/nk_core.dir/accounting.cpp.o.d"
+  "/root/repo/src/core/arbiter.cpp" "src/core/CMakeFiles/nk_core.dir/arbiter.cpp.o" "gcc" "src/core/CMakeFiles/nk_core.dir/arbiter.cpp.o.d"
+  "/root/repo/src/core/core_engine.cpp" "src/core/CMakeFiles/nk_core.dir/core_engine.cpp.o" "gcc" "src/core/CMakeFiles/nk_core.dir/core_engine.cpp.o.d"
+  "/root/repo/src/core/guest_lib.cpp" "src/core/CMakeFiles/nk_core.dir/guest_lib.cpp.o" "gcc" "src/core/CMakeFiles/nk_core.dir/guest_lib.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/nk_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/nk_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/nsm.cpp" "src/core/CMakeFiles/nk_core.dir/nsm.cpp.o" "gcc" "src/core/CMakeFiles/nk_core.dir/nsm.cpp.o.d"
+  "/root/repo/src/core/service_lib.cpp" "src/core/CMakeFiles/nk_core.dir/service_lib.cpp.o" "gcc" "src/core/CMakeFiles/nk_core.dir/service_lib.cpp.o.d"
+  "/root/repo/src/core/sla.cpp" "src/core/CMakeFiles/nk_core.dir/sla.cpp.o" "gcc" "src/core/CMakeFiles/nk_core.dir/sla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/nk_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/nk_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/nk_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/nk_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/nk_virt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nk_core.dir/accounting.cpp.o"
+  "CMakeFiles/nk_core.dir/accounting.cpp.o.d"
+  "CMakeFiles/nk_core.dir/arbiter.cpp.o"
+  "CMakeFiles/nk_core.dir/arbiter.cpp.o.d"
+  "CMakeFiles/nk_core.dir/core_engine.cpp.o"
+  "CMakeFiles/nk_core.dir/core_engine.cpp.o.d"
+  "CMakeFiles/nk_core.dir/guest_lib.cpp.o"
+  "CMakeFiles/nk_core.dir/guest_lib.cpp.o.d"
+  "CMakeFiles/nk_core.dir/monitor.cpp.o"
+  "CMakeFiles/nk_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/nk_core.dir/nsm.cpp.o"
+  "CMakeFiles/nk_core.dir/nsm.cpp.o.d"
+  "CMakeFiles/nk_core.dir/service_lib.cpp.o"
+  "CMakeFiles/nk_core.dir/service_lib.cpp.o.d"
+  "CMakeFiles/nk_core.dir/sla.cpp.o"
+  "CMakeFiles/nk_core.dir/sla.cpp.o.d"
+  "libnk_core.a"
+  "libnk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cpp" "src/net/CMakeFiles/nk_net.dir/address.cpp.o" "gcc" "src/net/CMakeFiles/nk_net.dir/address.cpp.o.d"
+  "/root/repo/src/net/capture.cpp" "src/net/CMakeFiles/nk_net.dir/capture.cpp.o" "gcc" "src/net/CMakeFiles/nk_net.dir/capture.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/nk_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/nk_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/net/CMakeFiles/nk_net.dir/wire.cpp.o" "gcc" "src/net/CMakeFiles/nk_net.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nk_net.dir/address.cpp.o"
+  "CMakeFiles/nk_net.dir/address.cpp.o.d"
+  "CMakeFiles/nk_net.dir/capture.cpp.o"
+  "CMakeFiles/nk_net.dir/capture.cpp.o.d"
+  "CMakeFiles/nk_net.dir/packet.cpp.o"
+  "CMakeFiles/nk_net.dir/packet.cpp.o.d"
+  "CMakeFiles/nk_net.dir/wire.cpp.o"
+  "CMakeFiles/nk_net.dir/wire.cpp.o.d"
+  "libnk_net.a"
+  "libnk_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nk_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

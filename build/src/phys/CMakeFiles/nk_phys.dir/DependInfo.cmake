@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/l3_switch.cpp" "src/phys/CMakeFiles/nk_phys.dir/l3_switch.cpp.o" "gcc" "src/phys/CMakeFiles/nk_phys.dir/l3_switch.cpp.o.d"
+  "/root/repo/src/phys/link.cpp" "src/phys/CMakeFiles/nk_phys.dir/link.cpp.o" "gcc" "src/phys/CMakeFiles/nk_phys.dir/link.cpp.o.d"
+  "/root/repo/src/phys/queue.cpp" "src/phys/CMakeFiles/nk_phys.dir/queue.cpp.o" "gcc" "src/phys/CMakeFiles/nk_phys.dir/queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

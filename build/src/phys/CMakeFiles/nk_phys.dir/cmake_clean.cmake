@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nk_phys.dir/l3_switch.cpp.o"
+  "CMakeFiles/nk_phys.dir/l3_switch.cpp.o.d"
+  "CMakeFiles/nk_phys.dir/link.cpp.o"
+  "CMakeFiles/nk_phys.dir/link.cpp.o.d"
+  "CMakeFiles/nk_phys.dir/queue.cpp.o"
+  "CMakeFiles/nk_phys.dir/queue.cpp.o.d"
+  "libnk_phys.a"
+  "libnk_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nk_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnk_phys.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nk_shm.dir/hugepage_pool.cpp.o"
+  "CMakeFiles/nk_shm.dir/hugepage_pool.cpp.o.d"
+  "libnk_shm.a"
+  "libnk_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nk_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nk_sim.dir/cpu_core.cpp.o"
+  "CMakeFiles/nk_sim.dir/cpu_core.cpp.o.d"
+  "CMakeFiles/nk_sim.dir/simulator.cpp.o"
+  "CMakeFiles/nk_sim.dir/simulator.cpp.o.d"
+  "libnk_sim.a"
+  "libnk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

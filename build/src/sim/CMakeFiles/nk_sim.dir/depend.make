@@ -1,0 +1,2 @@
+# Empty dependencies file for nk_sim.
+# This may be replaced when dependencies are built.

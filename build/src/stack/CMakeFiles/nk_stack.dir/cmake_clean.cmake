@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nk_stack.dir/netstack.cpp.o"
+  "CMakeFiles/nk_stack.dir/netstack.cpp.o.d"
+  "libnk_stack.a"
+  "libnk_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nk_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/cc/bbr.cpp" "src/tcp/CMakeFiles/nk_tcp.dir/cc/bbr.cpp.o" "gcc" "src/tcp/CMakeFiles/nk_tcp.dir/cc/bbr.cpp.o.d"
+  "/root/repo/src/tcp/cc/compound.cpp" "src/tcp/CMakeFiles/nk_tcp.dir/cc/compound.cpp.o" "gcc" "src/tcp/CMakeFiles/nk_tcp.dir/cc/compound.cpp.o.d"
+  "/root/repo/src/tcp/cc/cubic.cpp" "src/tcp/CMakeFiles/nk_tcp.dir/cc/cubic.cpp.o" "gcc" "src/tcp/CMakeFiles/nk_tcp.dir/cc/cubic.cpp.o.d"
+  "/root/repo/src/tcp/cc/dctcp.cpp" "src/tcp/CMakeFiles/nk_tcp.dir/cc/dctcp.cpp.o" "gcc" "src/tcp/CMakeFiles/nk_tcp.dir/cc/dctcp.cpp.o.d"
+  "/root/repo/src/tcp/cc/factory.cpp" "src/tcp/CMakeFiles/nk_tcp.dir/cc/factory.cpp.o" "gcc" "src/tcp/CMakeFiles/nk_tcp.dir/cc/factory.cpp.o.d"
+  "/root/repo/src/tcp/cc/newreno.cpp" "src/tcp/CMakeFiles/nk_tcp.dir/cc/newreno.cpp.o" "gcc" "src/tcp/CMakeFiles/nk_tcp.dir/cc/newreno.cpp.o.d"
+  "/root/repo/src/tcp/reassembly.cpp" "src/tcp/CMakeFiles/nk_tcp.dir/reassembly.cpp.o" "gcc" "src/tcp/CMakeFiles/nk_tcp.dir/reassembly.cpp.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cpp" "src/tcp/CMakeFiles/nk_tcp.dir/rtt_estimator.cpp.o" "gcc" "src/tcp/CMakeFiles/nk_tcp.dir/rtt_estimator.cpp.o.d"
+  "/root/repo/src/tcp/tcb.cpp" "src/tcp/CMakeFiles/nk_tcp.dir/tcb.cpp.o" "gcc" "src/tcp/CMakeFiles/nk_tcp.dir/tcb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

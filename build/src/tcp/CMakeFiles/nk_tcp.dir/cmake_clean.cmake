@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nk_tcp.dir/cc/bbr.cpp.o"
+  "CMakeFiles/nk_tcp.dir/cc/bbr.cpp.o.d"
+  "CMakeFiles/nk_tcp.dir/cc/compound.cpp.o"
+  "CMakeFiles/nk_tcp.dir/cc/compound.cpp.o.d"
+  "CMakeFiles/nk_tcp.dir/cc/cubic.cpp.o"
+  "CMakeFiles/nk_tcp.dir/cc/cubic.cpp.o.d"
+  "CMakeFiles/nk_tcp.dir/cc/dctcp.cpp.o"
+  "CMakeFiles/nk_tcp.dir/cc/dctcp.cpp.o.d"
+  "CMakeFiles/nk_tcp.dir/cc/factory.cpp.o"
+  "CMakeFiles/nk_tcp.dir/cc/factory.cpp.o.d"
+  "CMakeFiles/nk_tcp.dir/cc/newreno.cpp.o"
+  "CMakeFiles/nk_tcp.dir/cc/newreno.cpp.o.d"
+  "CMakeFiles/nk_tcp.dir/reassembly.cpp.o"
+  "CMakeFiles/nk_tcp.dir/reassembly.cpp.o.d"
+  "CMakeFiles/nk_tcp.dir/rtt_estimator.cpp.o"
+  "CMakeFiles/nk_tcp.dir/rtt_estimator.cpp.o.d"
+  "CMakeFiles/nk_tcp.dir/tcb.cpp.o"
+  "CMakeFiles/nk_tcp.dir/tcb.cpp.o.d"
+  "libnk_tcp.a"
+  "libnk_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nk_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

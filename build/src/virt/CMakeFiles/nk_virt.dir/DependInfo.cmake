@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virt/hypervisor.cpp" "src/virt/CMakeFiles/nk_virt.dir/hypervisor.cpp.o" "gcc" "src/virt/CMakeFiles/nk_virt.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/virt/machine.cpp" "src/virt/CMakeFiles/nk_virt.dir/machine.cpp.o" "gcc" "src/virt/CMakeFiles/nk_virt.dir/machine.cpp.o.d"
+  "/root/repo/src/virt/vswitch.cpp" "src/virt/CMakeFiles/nk_virt.dir/vswitch.cpp.o" "gcc" "src/virt/CMakeFiles/nk_virt.dir/vswitch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/nk_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/nk_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/nk_tcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nk_virt.dir/hypervisor.cpp.o"
+  "CMakeFiles/nk_virt.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/nk_virt.dir/machine.cpp.o"
+  "CMakeFiles/nk_virt.dir/machine.cpp.o.d"
+  "CMakeFiles/nk_virt.dir/vswitch.cpp.o"
+  "CMakeFiles/nk_virt.dir/vswitch.cpp.o.d"
+  "libnk_virt.a"
+  "libnk_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nk_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiter_test.dir/arbiter_test.cpp.o"
+  "CMakeFiles/arbiter_test.dir/arbiter_test.cpp.o.d"
+  "arbiter_test"
+  "arbiter_test.pdb"
+  "arbiter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_test.dir/capture_test.cpp.o"
+  "CMakeFiles/capture_test.dir/capture_test.cpp.o.d"
+  "capture_test"
+  "capture_test.pdb"
+  "capture_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

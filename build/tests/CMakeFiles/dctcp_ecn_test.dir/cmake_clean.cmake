@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dctcp_ecn_test.dir/dctcp_ecn_test.cpp.o"
+  "CMakeFiles/dctcp_ecn_test.dir/dctcp_ecn_test.cpp.o.d"
+  "dctcp_ecn_test"
+  "dctcp_ecn_test.pdb"
+  "dctcp_ecn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dctcp_ecn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guestlib_fuzz_test.dir/guestlib_fuzz_test.cpp.o"
+  "CMakeFiles/guestlib_fuzz_test.dir/guestlib_fuzz_test.cpp.o.d"
+  "guestlib_fuzz_test"
+  "guestlib_fuzz_test.pdb"
+  "guestlib_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guestlib_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

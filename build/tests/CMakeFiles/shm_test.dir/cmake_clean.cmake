@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shm_test.dir/shm_test.cpp.o"
+  "CMakeFiles/shm_test.dir/shm_test.cpp.o.d"
+  "shm_test"
+  "shm_test.pdb"
+  "shm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

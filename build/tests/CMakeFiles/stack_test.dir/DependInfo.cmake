@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stack_test.cpp" "tests/CMakeFiles/stack_test.dir/stack_test.cpp.o" "gcc" "tests/CMakeFiles/stack_test.dir/stack_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/nk_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/nk_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/nk_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/nk_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/nk_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/nk_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcb_unit_test.dir/tcb_unit_test.cpp.o"
+  "CMakeFiles/tcb_unit_test.dir/tcb_unit_test.cpp.o.d"
+  "tcb_unit_test"
+  "tcb_unit_test.pdb"
+  "tcb_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcb_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_netkernel_test.dir/udp_netkernel_test.cpp.o"
+  "CMakeFiles/udp_netkernel_test.dir/udp_netkernel_test.cpp.o.d"
+  "udp_netkernel_test"
+  "udp_netkernel_test.pdb"
+  "udp_netkernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_netkernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -9,6 +9,9 @@
 // stack inside the guest VM (Figure 1a), "NSM" moves it behind NetKernel
 // (Figure 1b). Throughput is steady-state goodput at the receiver.
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "apps/scenario.hpp"
 #include "apps/workloads.hpp"
@@ -17,6 +20,11 @@ namespace {
 
 using namespace nk;
 using apps::side;
+
+// Registry snapshots from the NetKernel runs, one JSON object per
+// configuration, archived next to the stdout table.
+std::ostringstream g_snapshots;
+bool g_first_snapshot = true;
 
 double measure_gbps(bool netkernel, int flows, std::uint64_t seed) {
   apps::testbed bed{apps::datacenter_params(seed)};
@@ -64,8 +72,20 @@ double measure_gbps(bool netkernel, int flows, std::uint64_t seed) {
   bed.run_for(milliseconds(100));
   const std::uint64_t at_warmup = sink.total_bytes();
   bed.run_for(milliseconds(400));
-  return rate_of(sink.total_bytes() - at_warmup, milliseconds(400)).bps() /
-         1e9;
+  const double gbps =
+      rate_of(sink.total_bytes() - at_warmup, milliseconds(400)).bps() / 1e9;
+
+  // Archive the sender-side engine's registry (queue depths, nqe counters,
+  // stack gauges) with the measured goodput alongside it.
+  if (netkernel) {
+    core::core_engine& ce = bed.netkernel(side::a);
+    ce.metrics().get_gauge("fig4_goodput_gbps").set(gbps);
+    if (!g_first_snapshot) g_snapshots << ',';
+    g_first_snapshot = false;
+    g_snapshots << "{\"flows\":" << flows << ",\"seed\":" << seed
+                << ",\"metrics\":" << ce.metrics().to_json() << '}';
+  }
+  return gbps;
 }
 
 }  // namespace
@@ -80,5 +100,9 @@ int main() {
     const double nsm = measure_gbps(true, flows, 200 + flows);
     std::printf("%-8d %8.2f Gb/s %12.2f Gb/s\n", flows, native, nsm);
   }
+  std::ofstream out{"fig4_metrics.json"};
+  out << "{\"figure\":\"fig4_throughput\",\"runs\":[" << g_snapshots.str()
+      << "]}";
+  std::printf("\nper-run registry snapshots: fig4_metrics.json\n");
   return 0;
 }

@@ -7,6 +7,7 @@
 // Build & run:   cmake -B build -G Ninja && cmake --build build
 //                ./build/examples/quickstart
 #include <cstdio>
+#include <fstream>
 
 #include "apps/scenario.hpp"
 
@@ -15,8 +16,13 @@ using apps::side;
 
 int main() {
   // A testbed is two hypervisors joined by a 40 GbE link, each with a
-  // NetKernel CoreEngine (apps/scenario.hpp wires it all).
-  apps::testbed bed{apps::datacenter_params(/*seed=*/1)};
+  // NetKernel CoreEngine (apps/scenario.hpp wires it all). Lifecycle
+  // tracing is on at full sampling: every nqe through the pipeline becomes
+  // a row in quickstart_trace.json (see the Perfetto hint at the end).
+  auto params = apps::datacenter_params(/*seed=*/1);
+  params.netkernel.trace.enabled = true;
+  params.netkernel.trace.sample_rate = 1.0;
+  apps::testbed bed{params};
 
   // Provider side: create an NSM running the Cubic TCP stack and attach a
   // tenant VM to it. The VM has NO in-guest network stack.
@@ -86,5 +92,24 @@ int main() {
   std::printf("  NSM stack segments sent:      %llu\n",
               static_cast<unsigned long long>(
                   client.module->stack().stats().tx_packets));
+
+  // Machine-readable observability dumps from the client-side CoreEngine:
+  // per-stage nqe latency histograms + every counter/gauge in Prometheus
+  // text format, and the traced spans as Chrome trace events.
+  core::core_engine& ce = bed.netkernel(side::a);
+  {
+    std::ofstream prom{"quickstart_metrics.prom"};
+    prom << ce.metrics().to_prom();
+  }
+  {
+    std::ofstream trace{"quickstart_trace.json"};
+    trace << ce.tracer().to_chrome_json();
+  }
+  std::printf("\nObservability dumps written:\n");
+  std::printf("  quickstart_metrics.prom  (Prometheus text format)\n");
+  std::printf("  quickstart_trace.json    (open at https://ui.perfetto.dev\n");
+  std::printf("                            or chrome://tracing)\n");
+  std::printf("  traced nqes: %zu spans across %d pipeline stages\n",
+              ce.tracer().completed().size(), obs::nqe_stage_count);
   return echoed == 64 * 1024 ? 0 : 1;
 }

@@ -64,6 +64,12 @@ testbed::testbed(const testbed_params& params) : sim_{params.seed} {
   wire_ = &virt::hypervisor::connect_hosts(*host_a_, *host_b_, params.wire);
   ce_a_ = std::make_unique<core::core_engine>(*host_a_, params.netkernel);
   ce_b_ = std::make_unique<core::core_engine>(*host_b_, params.netkernel);
+  // Each engine sees the wire from its own side: "egress" is the direction
+  // that carries this host's transmissions.
+  wire_->forward().register_metrics(ce_a_->metrics(), "wire_egress");
+  wire_->backward().register_metrics(ce_a_->metrics(), "wire_ingress");
+  wire_->backward().register_metrics(ce_b_->metrics(), "wire_egress");
+  wire_->forward().register_metrics(ce_b_->metrics(), "wire_ingress");
 }
 
 net::ipv4_addr testbed::next_address(side s) {

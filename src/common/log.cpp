@@ -1,10 +1,29 @@
 #include "common/log.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
 
 namespace nk {
 namespace {
-log_level g_level = log_level::off;
+
+// Read NK_LOG_LEVEL exactly once, the first time anything asks for the
+// level. Unset or unparseable values leave logging off.
+log_level level_from_env() {
+  const char* env = std::getenv("NK_LOG_LEVEL");
+  if (env == nullptr) return log_level::off;
+  return parse_log_level(env).value_or(log_level::off);
+}
+
+log_level& level_ref() {
+  static log_level g_level = level_from_env();
+  return g_level;
+}
+
+log_clock& clock_ref() {
+  static log_clock g_clock;
+  return g_clock;
+}
 
 const char* level_name(log_level level) {
   switch (level) {
@@ -17,14 +36,44 @@ const char* level_name(log_level level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void set_log_level(log_level level) { g_level = level; }
-log_level current_log_level() { return g_level; }
+void set_log_level(log_level level) { level_ref() = level; }
+log_level current_log_level() { return level_ref(); }
+
+std::optional<log_level> parse_log_level(std::string_view name) {
+  auto matches = [name](std::string_view want) {
+    if (name.size() != want.size()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const char lower =
+          (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+      if (lower != want[i]) return false;
+    }
+    return true;
+  };
+  if (matches("trace")) return log_level::trace;
+  if (matches("debug")) return log_level::debug;
+  if (matches("info")) return log_level::info;
+  if (matches("warn")) return log_level::warn;
+  if (matches("error")) return log_level::error;
+  if (matches("off")) return log_level::off;
+  return std::nullopt;
+}
+
+void set_log_clock(log_clock now_ns) { clock_ref() = std::move(now_ns); }
 
 namespace detail {
 void emit(log_level level, const std::string& message) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  const log_clock& clk = clock_ref();
+  if (clk) {
+    std::fprintf(stderr, "[%lld ns] [%s] %s\n",
+                 static_cast<long long>(clk()), level_name(level),
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  }
 }
 }  // namespace detail
 

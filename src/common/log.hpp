@@ -1,10 +1,20 @@
 // Minimal leveled logger. Off by default so simulations stay quiet; tests
 // and examples can raise the level for tracing. Not thread-safe by design:
 // each simulation is single-threaded (see sim::simulator).
+//
+// The minimum level can also be set from outside with the NK_LOG_LEVEL
+// environment variable ("trace".."error", "off"); it is read once, on the
+// first log-level query, and an explicit set_log_level() call wins over it.
+// When a clock hook is installed (sim::simulator installs one for the
+// current simulation) every line is prefixed with the simulated time.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace nk {
 
@@ -13,6 +23,16 @@ enum class log_level { trace, debug, info, warn, error, off };
 // Global minimum level; messages below it are discarded.
 void set_log_level(log_level level);
 [[nodiscard]] log_level current_log_level();
+
+// Parses a level name ("trace", "DEBUG", ...), case-insensitive.
+// std::nullopt for anything unrecognized.
+[[nodiscard]] std::optional<log_level> parse_log_level(std::string_view name);
+
+// Sim-time prefix hook: a callable returning the current time in
+// nanoseconds, or nullptr to drop the prefix. Kept as a std::function so
+// nk_common needs no dependency on the simulator.
+using log_clock = std::function<std::int64_t()>;
+void set_log_clock(log_clock now_ns);
 
 namespace detail {
 void emit(log_level level, const std::string& message);

@@ -38,9 +38,15 @@ double sample_set::percentile(double p) const {
     sorted_ = true;
   }
   p = std::clamp(p, 0.0, 100.0);
-  const auto rank = static_cast<std::size_t>(
-      p / 100.0 * static_cast<double>(samples_.size() - 1) + 0.5);
-  return samples_[rank];
+  // Nearest-rank: the smallest sample with at least ceil(p/100 * n)
+  // samples at or below it. p = 0 means the minimum by convention, and a
+  // single-sample set answers that sample for every p.
+  const auto n = samples_.size();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return samples_[rank - 1];
 }
 
 }  // namespace nk

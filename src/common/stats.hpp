@@ -44,6 +44,7 @@ class sample_set {
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double min() const { return percentile(0); }
   [[nodiscard]] double median() const { return percentile(50); }
+  [[nodiscard]] double p99() const { return percentile(99); }
   [[nodiscard]] double max() const { return percentile(100); }
 
  private:

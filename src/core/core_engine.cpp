@@ -1,5 +1,6 @@
 #include "core/core_engine.hpp"
 
+#include "common/log.hpp"
 #include "core/guest_lib.hpp"
 
 namespace nk::core {
@@ -12,7 +13,28 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
     : host_{host},
       sim_{host.simulator()},
       cfg_{cfg},
-      core_{host.allocate_core()} {}
+      tracer_{sim_, metrics_, cfg_.trace},
+      core_{host.allocate_core()} {
+  // Engine-level stats surface through the registry as callback gauges:
+  // the exporters read them on demand, the hot path keeps its plain
+  // counters untouched.
+  metrics_.register_gauge_fn("engine_nqes_forwarded", [this] {
+    return static_cast<double>(stats_.nqes_forwarded);
+  });
+  metrics_.register_gauge_fn("engine_unroutable_nqes", [this] {
+    return static_cast<double>(stats_.unroutable_nqes);
+  });
+  metrics_.register_gauge_fn("engine_mappings_installed", [this] {
+    return static_cast<double>(stats_.mappings_installed);
+  });
+  metrics_.register_gauge_fn("engine_accept_fds_minted", [this] {
+    return static_cast<double>(stats_.accept_fds_minted);
+  });
+  if (core_ != nullptr) {
+    metrics_.register_gauge_fn("engine_core_utilization",
+                               [c = core_] { return c->utilization(); });
+  }
+}
 
 core_engine::~core_engine() = default;
 
@@ -20,11 +42,27 @@ nsm& core_engine::create_nsm(const nsm_config& cfg) {
   auto module = std::make_unique<nsm>(host_, next_nsm_id_++, cfg);
   nsm& ref = *module;
   auto service = std::make_unique<service_lib>(ref, sim_, cfg_.costs,
-                                               cfg_.notification);
+                                               cfg_.notification, &tracer_);
   service->set_sla_manager(&sla_);
   service->start();
   services_[ref.id()] = std::move(service);
   nsms_.push_back(std::move(module));
+
+  // Per-NSM health gauges; health_monitor and the exporters both read these.
+  const std::string p = "nsm" + std::to_string(ref.id());
+  metrics_.register_gauge_fn(p + "_core_utilization", [m = &ref] {
+    double util = 0.0;
+    int cores = 0;
+    for (auto* core : m->cores()) {
+      if (core != nullptr) {
+        util += core->utilization();
+        ++cores;
+      }
+    }
+    return cores > 0 ? util / cores : 0.0;
+  });
+  ref.stack().register_metrics(metrics_, p + "_stack");
+  log_info("core_engine: created nsm ", ref.id(), " (", ref.name(), ")");
   return ref;
 }
 
@@ -84,12 +122,40 @@ guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
   });
 
   att.glib = std::make_unique<guest_lib>(vm, *ch, *this, cfg_.costs,
-                                         cfg_.notification);
+                                         cfg_.notification, &tracer_);
 
   att.vm_to_nsm->start();
   att.nsm_to_vm->start();
 
+  // Channel queue-depth gauges (both queue sets) and lifetime nqe counters.
+  const std::string p = "vm" + std::to_string(vm.id());
+  metrics_.register_gauge_fn(p + "_vmq_job_depth", [ch] {
+    return static_cast<double>(ch->vm_q.job.size_approx());
+  });
+  metrics_.register_gauge_fn(p + "_vmq_out_depth", [ch] {
+    return static_cast<double>(ch->vm_q.completion.size_approx() +
+                               ch->vm_q.receive.size_approx());
+  });
+  metrics_.register_gauge_fn(p + "_nsmq_job_depth", [ch] {
+    return static_cast<double>(ch->nsm_q.job.size_approx());
+  });
+  metrics_.register_gauge_fn(p + "_nsmq_out_depth", [ch] {
+    return static_cast<double>(ch->nsm_q.completion.size_approx() +
+                               ch->nsm_q.receive.size_approx());
+  });
+  metrics_.register_gauge_fn(p + "_nqes_vm_to_nsm", [ch] {
+    return static_cast<double>(ch->nqes_vm_to_nsm);
+  });
+  metrics_.register_gauge_fn(p + "_nqes_nsm_to_vm", [ch] {
+    return static_cast<double>(ch->nqes_nsm_to_vm);
+  });
+  metrics_.register_gauge_fn(p + "_pool_chunks_free", [ch] {
+    return static_cast<double>(ch->pool.chunks_free());
+  });
+
   auto [it, inserted] = attachments_.emplace(vm.id(), std::move(att));
+  log_info("core_engine: attached vm ", vm.id(), " (", vm.name(),
+           ") to nsm ", module.id());
   return *it->second.glib;
 }
 
@@ -107,6 +173,7 @@ std::size_t core_engine::drain_vm_jobs(attachment& att) {
   while (n < drain_batch && att.ch->vm_q.job.pop(e)) {
     ++n;
     ++att.ch->nqes_vm_to_nsm;
+    tracer_.stamp(e.reserved, obs::nqe_stage::vm_job_dwell);
     // The copy between queue sets costs ~12 ns on the CoreEngine core
     // (paper §4.2); translation happens in FIFO order on that core.
     if (core_ != nullptr) {
@@ -141,6 +208,7 @@ void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
   auto it = by_flow_.find(flow_key{vm, fd});
   if (it == by_flow_.end()) {
     ++stats_.unroutable_nqes;
+    tracer_.drop(e.reserved);
     // A data-bearing request for an unknown flow still owns a huge-page
     // chunk; recycle it or the pool leaks.
     if ((e.op == shm::nqe_op::req_send ||
@@ -174,6 +242,7 @@ void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
 }
 
 void core_engine::deliver_to_nsm(attachment& att, const shm::nqe& e) {
+  tracer_.stamp(e.reserved, obs::nqe_stage::engine_copy_fwd);
   (void)att.ch->nsm_q.job.push(e);
   if (auto* service = service_of(att.module->id())) service->notify();
 }
@@ -186,6 +255,7 @@ std::size_t core_engine::drain_nsm_queues(attachment& att) {
   // Completions first, then events; the CE core keeps this order downstream.
   while (n < drain_batch && att.ch->nsm_q.completion.pop(e)) {
     ++n;
+    tracer_.stamp(e.reserved, obs::nqe_stage::nsm_out_dwell);
     if (core_ != nullptr) {
       core_->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), e] {
         if (auto it = attachments_.find(id); it != attachments_.end()) {
@@ -198,6 +268,7 @@ std::size_t core_engine::drain_nsm_queues(attachment& att) {
   }
   while (n < drain_batch && att.ch->nsm_q.receive.pop(e)) {
     ++n;
+    tracer_.stamp(e.reserved, obs::nqe_stage::nsm_out_dwell);
     if (core_ != nullptr) {
       core_->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), e] {
         if (auto it = attachments_.find(id); it != attachments_.end()) {
@@ -249,6 +320,7 @@ void core_engine::forward_to_vm(attachment& att, shm::nqe e,
       auto lit = by_nsm_.find(nsm_key{module, e.handle});
       if (lit == by_nsm_.end()) {
         ++stats_.unroutable_nqes;
+        tracer_.drop(e.reserved);
         return;
       }
       const std::uint32_t new_fd = att.next_accept_fd++;
@@ -269,6 +341,7 @@ void core_engine::forward_to_vm(attachment& att, shm::nqe e,
       auto it = by_nsm_.find(nsm_key{module, e.handle});
       if (it == by_nsm_.end()) {
         ++stats_.unroutable_nqes;
+        tracer_.drop(e.reserved);
         // Data events for an already-closed flow carry chunks; recycle.
         if ((e.op == shm::nqe_op::ev_data ||
              e.op == shm::nqe_op::ev_udp_data) &&
@@ -288,6 +361,7 @@ void core_engine::forward_to_vm(attachment& att, shm::nqe e,
     }
   }
 
+  tracer_.stamp(e.reserved, obs::nqe_stage::engine_copy_rev);
   auto& queue = receive_queue ? att.ch->vm_q.receive : att.ch->vm_q.completion;
   (void)queue.push(e);
   ++att.ch->nqes_nsm_to_vm;

@@ -24,6 +24,8 @@
 #include "core/nsm.hpp"
 #include "core/service_lib.hpp"
 #include "core/sla.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "virt/hypervisor.hpp"
 
 namespace nk::core {
@@ -32,6 +34,7 @@ struct core_engine_config {
   netkernel_costs costs{};
   notify_config notification{};  // used for every pump in the system
   channel_config channel{};
+  obs::trace_config trace{};  // nqe lifecycle tracing (off by default)
 };
 
 struct core_engine_stats {
@@ -73,6 +76,12 @@ class core_engine {
 
   [[nodiscard]] sim::simulator& simulator() { return sim_; }
   [[nodiscard]] sla_manager& sla() { return sla_; }
+  [[nodiscard]] obs::metrics_registry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::metrics_registry& metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] obs::nqe_tracer& tracer() { return tracer_; }
+  [[nodiscard]] const obs::nqe_tracer& tracer() const { return tracer_; }
   [[nodiscard]] const core_engine_stats& stats() const { return stats_; }
   [[nodiscard]] const core_engine_config& config() const { return cfg_; }
   [[nodiscard]] sim::cpu_core* engine_core() { return core_; }
@@ -131,6 +140,8 @@ class core_engine {
   virt::hypervisor& host_;
   sim::simulator& sim_;
   core_engine_config cfg_;
+  obs::metrics_registry metrics_;
+  obs::nqe_tracer tracer_;
   sim::cpu_core* core_;
 
   std::vector<std::unique_ptr<nsm>> nsms_;

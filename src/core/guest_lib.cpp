@@ -13,8 +13,13 @@ constexpr std::size_t drain_batch = 128;
 
 guest_lib::guest_lib(virt::machine& vm, channel& ch, core_engine& engine,
                      const netkernel_costs& costs, const notify_config& ncfg,
-                     const guest_lib_config& cfg)
-    : vm_{vm}, ch_{ch}, engine_{engine}, costs_{costs}, cfg_{cfg} {
+                     obs::nqe_tracer* tracer, const guest_lib_config& cfg)
+    : vm_{vm},
+      ch_{ch},
+      engine_{engine},
+      costs_{costs},
+      cfg_{cfg},
+      tracer_{tracer} {
   pump_ = std::make_unique<queue_pump>(engine.simulator(), ncfg,
                                        [this] { return drain(); });
   pump_->start();
@@ -45,11 +50,19 @@ void guest_lib::submit(const g_socket& gs, shm::nqe e, sim_time extra_cost) {
   e.owner = vm_.id();
   const sim_time cost = costs_.guestlib_per_op + extra_cost;
   if (gs.core != nullptr) {
-    gs.core->execute(cost, [this, e] {
+    gs.core->execute(cost, [this, e]() mutable {
+      // Trace begins at the moment the nqe lands in the VM-side job queue,
+      // after the GuestLib interception cost has been paid.
+      if (tracer_ != nullptr) {
+        tracer_->maybe_begin(e, /*reverse=*/false, vm_.id(), ch_.nsm);
+      }
       (void)ch_.vm_q.job.push(e);
       engine_.notify_from_vm(vm_.id());
     });
     return;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->maybe_begin(e, /*reverse=*/false, vm_.id(), ch_.nsm);
   }
   (void)ch_.vm_q.job.push(e);
   engine_.notify_from_vm(vm_.id());
@@ -427,10 +440,18 @@ std::size_t guest_lib::drain() {
   std::size_t n = 0;
   while (n < drain_batch && ch_.vm_q.completion.pop(e)) {
     ++n;
+    if (tracer_ != nullptr && e.reserved != 0) {
+      tracer_->stamp(e.reserved, obs::nqe_stage::vm_out_dwell);
+      tracer_->finish(e.reserved);
+    }
     handle_nqe(e);
   }
   while (n < drain_batch && ch_.vm_q.receive.pop(e)) {
     ++n;
+    if (tracer_ != nullptr && e.reserved != 0) {
+      tracer_->stamp(e.reserved, obs::nqe_stage::vm_out_dwell);
+      tracer_->finish(e.reserved);
+    }
     handle_nqe(e);
   }
   return n;

@@ -27,6 +27,7 @@
 #include "core/channel.hpp"
 #include "core/costs.hpp"
 #include "core/notification.hpp"
+#include "obs/trace.hpp"
 #include "stack/netstack.hpp"
 #include "virt/machine.hpp"
 
@@ -58,6 +59,7 @@ class guest_lib {
  public:
   guest_lib(virt::machine& vm, channel& ch, core_engine& engine,
             const netkernel_costs& costs, const notify_config& ncfg,
+            obs::nqe_tracer* tracer = nullptr,
             const guest_lib_config& cfg = {});
   ~guest_lib();
 
@@ -172,6 +174,7 @@ class guest_lib {
   core_engine& engine_;
   netkernel_costs costs_;
   guest_lib_config cfg_;
+  obs::nqe_tracer* tracer_ = nullptr;
   std::unique_ptr<queue_pump> pump_;
 
   std::unordered_map<std::uint32_t, g_socket> sockets_;

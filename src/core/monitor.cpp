@@ -1,8 +1,26 @@
 #include "core/monitor.hpp"
 
+#include <ostream>
 #include <sstream>
 
+#include "common/log.hpp"
+
 namespace nk::core {
+
+std::string_view to_string(alert_kind k) {
+  switch (k) {
+    case alert_kind::nsm_overloaded: return "nsm_overloaded";
+    case alert_kind::channel_stalled: return "channel_stalled";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, const alert& a) {
+  os << "[" << a.at.count() << "ns] " << to_string(a.kind) << " nsm="
+     << a.module;
+  if (a.kind == alert_kind::channel_stalled) os << " vm=" << a.vm;
+  return os << ": " << a.detail;
+}
 
 health_monitor::health_monitor(core_engine& engine, const monitor_config& cfg)
     : engine_{engine}, cfg_{cfg} {}
@@ -33,19 +51,18 @@ void health_monitor::tick() {
 }
 
 void health_monitor::sample_nsm(nsm& module) {
+  // All readings come off the metrics registry (the gauges CoreEngine
+  // registered at create_nsm time) so the monitor, the exporters, and any
+  // external scraper agree on one set of numbers.
+  const std::string p = "nsm" + std::to_string(module.id());
+  const auto& reg = engine_.metrics();
   nsm_sample s;
   s.at = engine_.simulator().now();
-  double util = 0.0;
-  int cores = 0;
-  for (auto* core : module.cores()) {
-    if (core != nullptr) {
-      util += core->utilization();
-      ++cores;
-    }
-  }
-  s.utilization = cores > 0 ? util / cores : 0.0;
-  s.tx_packets = module.stack().stats().tx_packets;
-  s.rx_packets = module.stack().stats().rx_packets;
+  s.utilization = reg.value_of(p + "_core_utilization").value_or(0.0);
+  s.tx_packets = static_cast<std::uint64_t>(
+      reg.value_of(p + "_stack_tx_packets").value_or(0.0));
+  s.rx_packets = static_cast<std::uint64_t>(
+      reg.value_of(p + "_stack_rx_packets").value_or(0.0));
 
   auto& hist = history_[module.id()];
   hist.push_back(s);
@@ -60,6 +77,7 @@ void health_monitor::sample_nsm(nsm& module) {
       a.module = module.id();
       a.detail = module.name() + " mean core utilization " +
                  std::to_string(s.utilization);
+      log_warn("health_monitor: ", a);
       alerts_.push_back(a);
       if (handler_) handler_(a);
       streak = 0;  // re-alert only after another full streak
@@ -86,6 +104,7 @@ void health_monitor::check_channels() {
         a.vm = vm;
         a.detail = "channel of vm " + std::to_string(vm) +
                    " has queued nqes but no forward progress";
+        log_warn("health_monitor: ", a);
         alerts_.push_back(a);
         if (handler_) handler_(a);
         watch.stalled_streak = 0;
@@ -112,6 +131,40 @@ std::string health_monitor::report() const {
     os << '\n';
   }
   os << "alerts=" << alerts_.size() << '\n';
+  return os.str();
+}
+
+std::string health_monitor::report_json() const {
+  std::ostringstream os;
+  os << "{\"at_ns\":" << engine_.simulator().now().count()
+     << ",\"ticks\":" << ticks_ << ",\"nsms\":[";
+  bool first = true;
+  for (const auto& module : engine_.nsms()) {
+    if (!first) os << ',';
+    first = false;
+    const std::string p = "nsm" + std::to_string(module->id());
+    const auto& reg = engine_.metrics();
+    os << "{\"id\":" << module->id() << ",\"name\":\""
+       << obs::json_escape(module->name()) << "\",\"utilization\":"
+       << reg.value_of(p + "_core_utilization").value_or(0.0)
+       << ",\"tx_packets\":"
+       << static_cast<std::uint64_t>(
+              reg.value_of(p + "_stack_tx_packets").value_or(0.0))
+       << ",\"rx_packets\":"
+       << static_cast<std::uint64_t>(
+              reg.value_of(p + "_stack_rx_packets").value_or(0.0))
+       << ",\"samples\":" << history_of(module->id()).size() << "}";
+  }
+  os << "],\"alerts\":[";
+  first = true;
+  for (const auto& a : alerts_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"kind\":\"" << to_string(a.kind) << "\",\"at_ns\":"
+       << a.at.count() << ",\"nsm\":" << a.module << ",\"vm\":" << a.vm
+       << ",\"detail\":\"" << obs::json_escape(a.detail) << "\"}";
+  }
+  os << "]}";
   return os.str();
 }
 

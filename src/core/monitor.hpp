@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +33,8 @@ struct nsm_sample {
 
 enum class alert_kind { nsm_overloaded, channel_stalled };
 
+[[nodiscard]] std::string_view to_string(alert_kind k);
+
 struct alert {
   alert_kind kind{};
   sim_time at{};
@@ -38,6 +42,8 @@ struct alert {
   virt::vm_id vm = 0;  // set for channel_stalled
   std::string detail;
 };
+
+std::ostream& operator<<(std::ostream& os, const alert& a);
 
 struct monitor_config {
   sim_time interval = milliseconds(10);
@@ -69,6 +75,10 @@ class health_monitor {
 
   // Human-readable one-line status per NSM.
   [[nodiscard]] std::string report() const;
+
+  // Machine-readable status: per-NSM latest sample plus the full alert log,
+  // built from the same registry gauges report() reads.
+  [[nodiscard]] std::string report_json() const;
 
  private:
   void tick();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/log.hpp"
+
 namespace nk::core {
 
 namespace {
@@ -11,8 +13,8 @@ constexpr std::size_t drain_batch = 64;
 
 service_lib::service_lib(nsm& owner, sim::simulator& s,
                          const netkernel_costs& costs,
-                         const notify_config& ncfg)
-    : nsm_{owner}, sim_{s}, costs_{costs} {
+                         const notify_config& ncfg, obs::nqe_tracer* tracer)
+    : nsm_{owner}, sim_{s}, costs_{costs}, tracer_{tracer} {
   pump_ = std::make_unique<queue_pump>(s, ncfg, [this] { return drain_jobs(); });
 }
 
@@ -26,6 +28,8 @@ void service_lib::attach_channel(channel& ch, std::function<void()> notify_ce) {
 void service_lib::fail() {
   if (failed_) return;
   failed_ = true;
+  log_warn("service_lib: nsm ", nsm_.id(), " (", nsm_.name(),
+           ") failed; aborting tenant sockets");
   pump_->stop();
   // Abort every tenant socket and tell its VM. The stack itself stops
   // responding (its connections RST on abort; new segments meet a dead
@@ -56,14 +60,28 @@ sim_time service_lib::op_cost() const {
 
 void service_lib::push_completion(served_vm& svm, shm::nqe e) {
   e.owner = nsm_.id();
-  if (!svm.ch->nsm_q.completion.push(e)) return;  // full: dropped, caller retries
+  // A reverse-path trace begins here: the completion enters the NSM-side
+  // completion queue bound for CoreEngine and the tenant VM.
+  if (tracer_ != nullptr) {
+    tracer_->maybe_begin(e, /*reverse=*/true, svm.ch->vm_id, nsm_.id());
+  }
+  if (!svm.ch->nsm_q.completion.push(e)) {
+    if (tracer_ != nullptr) tracer_->drop(e.reserved);
+    return;  // full: dropped, caller retries
+  }
   ++svm.ch->nqes_nsm_to_vm;
   if (svm.notify_ce) svm.notify_ce();
 }
 
 void service_lib::push_receive(served_vm& svm, shm::nqe e) {
   e.owner = nsm_.id();
-  if (!svm.ch->nsm_q.receive.push(e)) return;
+  if (tracer_ != nullptr) {
+    tracer_->maybe_begin(e, /*reverse=*/true, svm.ch->vm_id, nsm_.id());
+  }
+  if (!svm.ch->nsm_q.receive.push(e)) {
+    if (tracer_ != nullptr) tracer_->drop(e.reserved);
+    return;
+  }
   ++svm.ch->nqes_nsm_to_vm;
   if (svm.notify_ce) svm.notify_ce();
 }
@@ -115,6 +133,9 @@ std::size_t service_lib::drain_jobs() {
       }
       if (!svm.ch->nsm_q.job.pop(e)) break;
       ++n;
+      if (tracer_ != nullptr) {
+        tracer_->stamp(e.reserved, obs::nqe_stage::nsm_job_dwell);
+      }
       // Charge the dispatch to the NSM core, then execute. FIFO execution
       // on the core preserves per-socket operation order.
       if (core != nullptr) {
@@ -148,6 +169,14 @@ std::size_t service_lib::drain_jobs() {
 void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
   ++stats_.ops_processed;
   auto& stack = nsm_.stack();
+
+  // Forward traces end here, once the op has been dispatched into the
+  // stack — except req_send, which finishes when the stack accepts the
+  // bytes (see try_deliver_sends).
+  if (tracer_ != nullptr && e.reserved != 0) {
+    tracer_->stamp(e.reserved, obs::nqe_stage::servicelib_dispatch);
+    if (e.op != shm::nqe_op::req_send) tracer_->finish(e.reserved);
+  }
 
   switch (e.op) {
     case shm::nqe_op::req_socket: {
@@ -253,6 +282,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
     case shm::nqe_op::req_send: {
       auto* ps = socket_by_cid(e.handle);
       if (ps == nullptr || ps->ssock == 0) {
+        if (tracer_ != nullptr) tracer_->finish(e.reserved);
         (void)svm.ch->pool.free(e.desc.chunk);
         shm::nqe out;
         out.op = shm::nqe_op::ev_error;
@@ -265,6 +295,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
       // copy itself is the Table 1 cost, charged by the caller's dispatch.
       auto span = svm.ch->pool.readable(e.desc);
       if (!span) {
+        if (tracer_ != nullptr) tracer_->finish(e.reserved);
         shm::nqe out;
         out.op = shm::nqe_op::ev_error;
         out.handle = e.handle;
@@ -279,7 +310,8 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
         core->execute(costs_.memcpy_cost(data.size()), [] {});
       }
       const std::uint64_t len = data.size();
-      ps->pending_send.push_back(pending_tx{std::move(data), e.token, len});
+      ps->pending_send.push_back(
+          pending_tx{std::move(data), e.token, len, e.reserved});
       try_deliver_sends(*ps);
       return;
     }
@@ -562,7 +594,7 @@ void service_lib::try_deliver_sends(proto_socket& ps) {
   auto& stack = nsm_.stack();
 
   while (!ps.pending_send.empty()) {
-    auto& [data, token, original] = ps.pending_send.front();
+    auto& [data, token, original, trace] = ps.pending_send.front();
 
     if (sla_ != nullptr && !sla_->allow_send(ps.vm, data.size(), sim_.now())) {
       ++stats_.sla_throttles;
@@ -590,6 +622,9 @@ void service_lib::try_deliver_sends(proto_socket& ps) {
       out.handle = ps.cid;
       out.status = -static_cast<std::int32_t>(r.error());
       push_receive(svm, out);
+      if (tracer_ != nullptr) {
+        for (const auto& tx : ps.pending_send) tracer_->finish(tx.trace);
+      }
       ps.pending_send.clear();
       return;
     }
@@ -601,6 +636,10 @@ void service_lib::try_deliver_sends(proto_socket& ps) {
       return;  // stack buffer full; resume on writable
     }
 
+    if (tracer_ != nullptr && trace != 0) {
+      tracer_->stamp(trace, obs::nqe_stage::stack_accept);
+      tracer_->finish(trace);
+    }
     shm::nqe out;
     out.op = shm::nqe_op::cmp_send;
     out.handle = ps.cid;

@@ -22,6 +22,7 @@
 #include "core/notification.hpp"
 #include "core/nsm.hpp"
 #include "core/sla.hpp"
+#include "obs/trace.hpp"
 
 namespace nk::core {
 
@@ -38,7 +39,7 @@ struct service_lib_stats {
 class service_lib {
  public:
   service_lib(nsm& owner, sim::simulator& s, const netkernel_costs& costs,
-              const notify_config& ncfg);
+              const notify_config& ncfg, obs::nqe_tracer* tracer = nullptr);
 
   service_lib(const service_lib&) = delete;
   service_lib& operator=(const service_lib&) = delete;
@@ -77,6 +78,7 @@ class service_lib {
     buffer data;                 // unsent remainder
     std::uint64_t token = 0;     // GuestLib correlation
     std::uint64_t original = 0;  // size as submitted (credit release amount)
+    std::uint64_t trace = 0;     // lifecycle trace id (0: untraced)
   };
 
   struct proto_socket {
@@ -113,6 +115,7 @@ class service_lib {
   nsm& nsm_;
   sim::simulator& sim_;
   netkernel_costs costs_;
+  obs::nqe_tracer* tracer_ = nullptr;
   std::unique_ptr<queue_pump> pump_;
   sla_manager* sla_ = nullptr;
 

@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace nk::obs {
+
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Everything else
+// becomes '_'; a leading digit gets a '_' prefix. All metrics are emitted
+// under the nk_ namespace, which also fixes the leading character.
+std::string prom_name(std::string_view name) {
+  std::string out = "nk_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// JSON/prom-friendly double: integral values print without a fraction.
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+double histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return static_cast<double>(min());
+  if (p >= 100.0) return static_cast<double>(max());
+  // Nearest rank: the ceil(p/100 * N)-th smallest sample.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < bucket_count; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      // Resolve within the bucket's range, clamped by the observed extrema.
+      const std::uint64_t hi = std::min(bucket_upper(i), max_);
+      const std::uint64_t lo = std::max(bucket_lower(i), min_);
+      return static_cast<double>(std::max(lo, std::min(hi, max_)));
+    }
+  }
+  return static_cast<double>(max());
+}
+
+counter& metrics_registry::get_counter(std::string_view name) {
+  return counters_.try_emplace(std::string{name}).first->second;
+}
+
+gauge& metrics_registry::get_gauge(std::string_view name) {
+  return gauges_.try_emplace(std::string{name}).first->second;
+}
+
+histogram& metrics_registry::get_histogram(std::string_view name) {
+  return histograms_.try_emplace(std::string{name}).first->second;
+}
+
+void metrics_registry::register_gauge_fn(std::string_view name,
+                                         std::function<double()> fn) {
+  gauge_fns_.insert_or_assign(std::string{name}, std::move(fn));
+}
+
+const counter* metrics_registry::find_counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const gauge* metrics_registry::find_gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const histogram* metrics_registry::find_histogram(
+    std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::optional<double> metrics_registry::value_of(std::string_view name) const {
+  if (const auto* c = find_counter(name)) {
+    return static_cast<double>(c->value());
+  }
+  if (const auto* g = find_gauge(name)) return g->value();
+  if (auto it = gauge_fns_.find(name); it != gauge_fns_.end()) {
+    return it->second();
+  }
+  return std::nullopt;
+}
+
+std::string metrics_registry::to_prom() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << c.value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << num(g.value()) << '\n';
+  }
+  for (const auto& [name, fn] : gauge_fns_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << num(fn()) << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cum = 0;
+    for (int i = 0; i < histogram::bucket_count; ++i) {
+      const std::uint64_t in_bucket = h.buckets()[static_cast<std::size_t>(i)];
+      if (in_bucket == 0) continue;  // sparse: only emit occupied buckets
+      cum += in_bucket;
+      os << n << "_bucket{le=\"" << histogram::bucket_upper(i) << "\"} " << cum
+         << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+    os << n << "_sum " << h.sum() << '\n';
+    os << n << "_count " << h.count() << '\n';
+  }
+  return os.str();
+}
+
+std::string metrics_registry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << num(g.value());
+  }
+  for (const auto& [name, fn] : gauge_fns_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << num(fn());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{"
+       << "\"count\":" << h.count() << ",\"sum\":" << h.sum()
+       << ",\"min\":" << h.min() << ",\"max\":" << h.max()
+       << ",\"mean\":" << num(h.mean()) << ",\"p50\":" << num(h.p50())
+       << ",\"p99\":" << num(h.p99()) << ",\"buckets\":[";
+    bool bf = true;
+    for (int i = 0; i < histogram::bucket_count; ++i) {
+      const std::uint64_t in_bucket = h.buckets()[static_cast<std::size_t>(i)];
+      if (in_bucket == 0) continue;
+      if (!bf) os << ',';
+      bf = false;
+      os << '[' << histogram::bucket_upper(i) << ',' << in_bucket << ']';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace nk::obs

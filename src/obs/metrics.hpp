@@ -1,0 +1,173 @@
+// Unified metrics registry (ISSUE 1 tentpole): named counters, gauges and
+// fixed-bucket log-linear latency histograms, cheap enough for the hot
+// path. Registration (get_counter / get_gauge / get_histogram) may allocate
+// and is O(log n); afterwards every add/record is O(1) and allocation-free
+// on a stable reference (std::map nodes never move).
+//
+// Exporters: to_prom() emits Prometheus text exposition format; to_json()
+// emits a snapshot the bench harness can archive next to its stdout tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace nk::obs {
+
+// Escapes `"`, `\` and control characters for embedding in a JSON string
+// literal. Shared by every exporter in the tree that hand-writes JSON.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double d) { v_ += d; }
+  [[nodiscard]] double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+// HDR-style log-linear histogram over non-negative integer values
+// (nanoseconds throughout this codebase). Buckets are exact for values
+// 0..15, then 16 sub-buckets per power of two: relative error <= 1/16
+// (~6.25%). The bucket array is fixed at construction — record() is a
+// handful of bit operations and two adds, no allocation ever.
+class histogram {
+ public:
+  static constexpr int sub_buckets = 16;
+  static constexpr int octaves = 44;  // covers up to ~2^48 ns (~3 days)
+  static constexpr int bucket_count = (octaves + 1) * sub_buckets;
+
+  // Index of the bucket holding `v`. Monotone in v; values beyond the
+  // covered range clamp into the last bucket.
+  [[nodiscard]] static constexpr int bucket_index(std::uint64_t v) {
+    if (v < sub_buckets) return static_cast<int>(v);
+    int bw = 64 - __builtin_clzll(v);  // bit width, >= 5 here
+    int octave = bw - 4;
+    if (octave > octaves) {  // clamp overflow into the top octave
+      octave = octaves;
+      return octave * sub_buckets + (sub_buckets - 1);
+    }
+    const int sub = static_cast<int>((v >> (bw - 5)) & (sub_buckets - 1));
+    return octave * sub_buckets + sub;
+  }
+
+  // Smallest value mapping to bucket `idx` (inverse of bucket_index).
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(int idx) {
+    if (idx < sub_buckets) return static_cast<std::uint64_t>(idx);
+    const int octave = idx / sub_buckets;
+    const int sub = idx % sub_buckets;
+    return static_cast<std::uint64_t>(sub_buckets + sub) << (octave - 1);
+  }
+
+  // Largest value mapping to bucket `idx`.
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(int idx) {
+    if (idx + 1 >= bucket_count) return ~0ull;
+    return bucket_lower(idx + 1) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    ++buckets_[static_cast<std::size_t>(bucket_index(v))];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1) {
+      min_ = max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+  }
+
+  // Negative durations (cannot happen in a well-ordered trace, but guard
+  // anyway) clamp to zero.
+  void record_time(sim_time t) {
+    record(t.count() < 0 ? 0 : static_cast<std::uint64_t>(t.count()));
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t min() const { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const { return count_ ? max_ : 0; }
+  [[nodiscard]] double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  // Nearest-rank percentile, resolved to the upper bound of the bucket the
+  // rank falls in (<= 6.25% relative error). p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double p50() const { return percentile(50); }
+  [[nodiscard]] double p99() const { return percentile(99); }
+
+  [[nodiscard]] const std::array<std::uint64_t, bucket_count>& buckets()
+      const {
+    return buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, bucket_count> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class metrics_registry {
+ public:
+  // Registration / lookup. The returned references stay valid for the
+  // registry's lifetime; repeated calls with the same name return the same
+  // instrument.
+  counter& get_counter(std::string_view name);
+  gauge& get_gauge(std::string_view name);
+  histogram& get_histogram(std::string_view name);
+
+  // Callback gauge: sampled at export time, zero hot-path cost. Handy for
+  // exposing pre-existing stats structs (queue depths, packet counters)
+  // without touching their increment sites.
+  void register_gauge_fn(std::string_view name, std::function<double()> fn);
+
+  [[nodiscard]] const counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const histogram* find_histogram(std::string_view name) const;
+
+  // Current numeric value of a counter, gauge, or callback gauge.
+  [[nodiscard]] std::optional<double> value_of(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + gauge_fns_.size() +
+           histograms_.size();
+  }
+
+  // Prometheus text exposition format (`# TYPE` + samples; histogram
+  // buckets are cumulative with inclusive `le` upper bounds).
+  [[nodiscard]] std::string to_prom() const;
+
+  // JSON snapshot: {"counters":{},"gauges":{},"histograms":{}}.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  // std::map: ordered (deterministic export) and node-stable (references
+  // survive later registrations).
+  std::map<std::string, counter, std::less<>> counters_;
+  std::map<std::string, gauge, std::less<>> gauges_;
+  std::map<std::string, std::function<double()>, std::less<>> gauge_fns_;
+  std::map<std::string, histogram, std::less<>> histograms_;
+};
+
+}  // namespace nk::obs

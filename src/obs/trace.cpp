@@ -1,0 +1,145 @@
+#include "obs/trace.hpp"
+
+#include <sstream>
+
+namespace nk::obs {
+
+nqe_tracer::nqe_tracer(sim::simulator& s, metrics_registry& reg,
+                       const trace_config& cfg)
+    : sim_{s}, reg_{reg}, cfg_{cfg} {
+  for (int i = 0; i < nqe_stage_count; ++i) {
+    stage_hist_[static_cast<std::size_t>(i)] = &reg.get_histogram(
+        std::string("nqe_stage_") +
+        std::string(to_string(static_cast<nqe_stage>(i))) + "_ns");
+  }
+  sampled_ = &reg.get_counter("nqe_traces_sampled");
+  overflow_ = &reg.get_counter("nqe_traces_overflow");
+}
+
+std::uint64_t nqe_tracer::maybe_begin(shm::nqe& e, bool reverse,
+                                      std::uint16_t vm, std::uint16_t nsm) {
+#ifdef NK_NO_TRACING
+  (void)e;
+  (void)reverse;
+  (void)vm;
+  (void)nsm;
+  return 0;
+#else
+  if (!cfg_.enabled) return 0;
+  if (cfg_.sample_rate < 1.0 && !sim_.random().chance(cfg_.sample_rate)) {
+    return 0;
+  }
+  if (active_.size() >= cfg_.max_active) {
+    overflow_->inc();
+    return 0;
+  }
+  const std::uint64_t id = next_id_++;
+  nqe_trace t;
+  t.id = id;
+  t.op = e.op;
+  t.vm = vm;
+  t.nsm = nsm;
+  t.reverse = reverse;
+  t.begin = sim_.now();
+  active_.emplace(id, t);
+  e.reserved = id;
+  sampled_->inc();
+  return id;
+#endif
+}
+
+void nqe_tracer::stamp(std::uint64_t id, nqe_stage stage) {
+#ifdef NK_NO_TRACING
+  (void)id;
+  (void)stage;
+#else
+  if (id == 0) return;
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  nqe_trace& t = it->second;
+  const sim_time now = sim_.now();
+  stage_hist_[static_cast<std::size_t>(stage)]->record_time(now - t.end());
+  if (t.n_stamps < nqe_trace::max_stamps) {
+    t.stamps[t.n_stamps++] = trace_stamp{stage, now};
+  }
+#endif
+}
+
+void nqe_tracer::finish(std::uint64_t id) {
+#ifdef NK_NO_TRACING
+  (void)id;
+#else
+  if (id == 0) return;
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  nqe_trace& t = it->second;
+
+  // End-to-end pipeline latency, keyed per (VM, direction) and per
+  // (NSM, direction). Lazy histogram registration is an allocation, but
+  // only on the first trace a given key completes.
+  const std::string dir = t.reverse ? "rev" : "fwd";
+  const std::uint32_t vkey = (std::uint32_t{t.vm} << 1) | (t.reverse ? 1 : 0);
+  const std::uint32_t nkey = (std::uint32_t{t.nsm} << 1) | (t.reverse ? 1 : 0);
+  auto [vit, vnew] = vm_total_.try_emplace(vkey, nullptr);
+  if (vnew) {
+    vit->second = &reg_.get_histogram("nqe_total_vm" + std::to_string(t.vm) +
+                                      "_" + dir + "_ns");
+  }
+  auto [nit, nnew] = nsm_total_.try_emplace(nkey, nullptr);
+  if (nnew) {
+    nit->second = &reg_.get_histogram("nqe_total_nsm" + std::to_string(t.nsm) +
+                                      "_" + dir + "_ns");
+  }
+  const sim_time total = t.end() - t.begin;
+  vit->second->record_time(total);
+  nit->second->record_time(total);
+
+  if (done_.size() < cfg_.max_spans) done_.push_back(t);
+  active_.erase(it);
+#endif
+}
+
+void nqe_tracer::drop(std::uint64_t id) {
+  if (id != 0) active_.erase(id);
+}
+
+std::string nqe_tracer::to_chrome_json() const {
+  std::ostringstream os;
+  // ts/dur are microseconds (double); pid groups rows by VM, tid gives each
+  // traced nqe its own row so stage spans never overlap.
+  auto emit_trace = [&os](const nqe_trace& t, bool& first) {
+    sim_time prev = t.begin;
+    for (std::size_t i = 0; i < t.n_stamps; ++i) {
+      const trace_stamp& s = t.stamps[i];
+      if (!first) os << ',';
+      first = false;
+      os << "{\"name\":\"" << to_string(s.stage) << "\",\"cat\":\"nqe,"
+         << (t.reverse ? "rev" : "fwd") << "\",\"ph\":\"X\",\"ts\":"
+         << static_cast<double>(prev.count()) / 1000.0
+         << ",\"dur\":" << static_cast<double>((s.at - prev).count()) / 1000.0
+         << ",\"pid\":" << t.vm << ",\"tid\":" << t.id << ",\"args\":{"
+         << "\"op\":\"" << shm::to_string(t.op) << "\",\"nsm\":" << t.nsm
+         << ",\"trace\":" << t.id << "}}";
+      prev = s.at;
+    }
+  };
+
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& t : done_) emit_trace(t, first);
+  for (const auto& [id, t] : active_) emit_trace(t, first);
+  // Process-name metadata so Perfetto labels rows by tenant VM.
+  std::unordered_map<std::uint16_t, bool> vms;
+  for (const auto& t : done_) vms.emplace(t.vm, true);
+  for (const auto& [id, t] : active_) vms.emplace(t.vm, true);
+  for (const auto& [vm, unused] : vms) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << vm
+       << ",\"args\":{\"name\":\"vm" << vm << "\"}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace nk::obs

@@ -1,0 +1,146 @@
+// nqe lifecycle tracer (ISSUE 1 tentpole): stamps each sampled nqe at the
+// paper's pipeline stages and turns the stamps into per-stage latency
+// histograms plus Chrome trace_event spans.
+//
+// Forward path (request):
+//   GuestLib submit ──vm_job_dwell──▶ CoreEngine pop ──engine_copy_fwd──▶
+//   NSM job queue ──nsm_job_dwell──▶ ServiceLib pop ──servicelib_dispatch──▶
+//   executed (req_send additionally ──stack_accept──▶ stack took the bytes)
+// Reverse path (completion/event):
+//   ServiceLib push ──nsm_out_dwell──▶ CoreEngine pop ──engine_copy_rev──▶
+//   VM queue ──vm_out_dwell──▶ GuestLib pop (trace finishes)
+//
+// The trace id rides in nqe.reserved (the cache-line pad), so tracing never
+// widens the nqe or adds a lookup on the untraced path: id 0 means "not
+// sampled" and every hook is a single predictable branch. Compile with
+// NK_NO_TRACING defined (cmake -DNK_DISABLE_TRACING=ON) to compile all
+// hooks out entirely.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "shm/nqe.hpp"
+#include "sim/simulator.hpp"
+
+namespace nk::obs {
+
+enum class nqe_stage : std::uint8_t {
+  vm_job_dwell,         // VM-side job queue (GuestLib push -> CE pop)
+  engine_copy_fwd,      // CE pop -> delivered to the NSM-side job queue
+  nsm_job_dwell,        // NSM-side job queue (CE push -> ServiceLib pop)
+  servicelib_dispatch,  // ServiceLib pop -> op executed against the stack
+  stack_accept,         // req_send only: executed -> stack accepted the bytes
+  nsm_out_dwell,        // NSM-side completion/receive queue dwell
+  engine_copy_rev,      // CE pop -> delivered to the VM-side queue
+  vm_out_dwell,         // VM-side completion/receive queue dwell
+};
+inline constexpr int nqe_stage_count = 8;
+
+[[nodiscard]] constexpr std::string_view to_string(nqe_stage s) {
+  switch (s) {
+    case nqe_stage::vm_job_dwell: return "vm_job_dwell";
+    case nqe_stage::engine_copy_fwd: return "engine_copy_fwd";
+    case nqe_stage::nsm_job_dwell: return "nsm_job_dwell";
+    case nqe_stage::servicelib_dispatch: return "servicelib_dispatch";
+    case nqe_stage::stack_accept: return "stack_accept";
+    case nqe_stage::nsm_out_dwell: return "nsm_out_dwell";
+    case nqe_stage::engine_copy_rev: return "engine_copy_rev";
+    case nqe_stage::vm_out_dwell: return "vm_out_dwell";
+  }
+  return "unknown";
+}
+
+struct trace_config {
+  bool enabled = false;
+  // Probability that an nqe entering the pipeline is traced. Drawn from the
+  // simulator-owned rng, so a fixed seed gives a fixed sample.
+  double sample_rate = 1.0;
+  std::size_t max_active = 4096;    // in-flight traced nqes
+  std::size_t max_spans = 1 << 16;  // retained completed traces
+};
+
+struct trace_stamp {
+  nqe_stage stage{};
+  sim_time at{};
+};
+
+struct nqe_trace {
+  static constexpr std::size_t max_stamps = 8;
+
+  std::uint64_t id = 0;
+  shm::nqe_op op = shm::nqe_op::invalid;
+  std::uint16_t vm = 0;
+  std::uint16_t nsm = 0;
+  bool reverse = false;  // NSM -> VM direction
+  sim_time begin{};
+  std::array<trace_stamp, max_stamps> stamps{};
+  std::size_t n_stamps = 0;
+
+  [[nodiscard]] sim_time end() const {
+    return n_stamps == 0 ? begin : stamps[n_stamps - 1].at;
+  }
+};
+
+class nqe_tracer {
+ public:
+  nqe_tracer(sim::simulator& s, metrics_registry& reg,
+             const trace_config& cfg);
+
+  nqe_tracer(const nqe_tracer&) = delete;
+  nqe_tracer& operator=(const nqe_tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const { return cfg_.enabled; }
+  [[nodiscard]] const trace_config& config() const { return cfg_; }
+
+  // Sampling decision at a pipeline entry point. On a hit, assigns a trace
+  // id, writes it into e.reserved and records the begin timestamp; returns
+  // the id (0 when tracing is off / the nqe was not sampled).
+  std::uint64_t maybe_begin(shm::nqe& e, bool reverse, std::uint16_t vm,
+                            std::uint16_t nsm);
+
+  // Records `stage` for trace `id`: feeds the elapsed-since-previous-stamp
+  // delta into the stage histogram and appends the stamp. id 0 is a no-op.
+  void stamp(std::uint64_t id, nqe_stage stage);
+
+  // Completes the trace: records the end-to-end latency into the per-VM and
+  // per-NSM histograms and retires the record for export.
+  void finish(std::uint64_t id);
+
+  // Abandons a trace without recording totals (e.g. the queue push that
+  // would have carried it failed).
+  void drop(std::uint64_t id);
+
+  [[nodiscard]] std::size_t active_count() const { return active_.size(); }
+  [[nodiscard]] const std::deque<nqe_trace>& completed() const {
+    return done_;
+  }
+
+  // Chrome trace_event format ("traceEvents" array of complete spans), one
+  // row per traced nqe; loads in chrome://tracing and ui.perfetto.dev.
+  // Includes still-active traces so aborted flows remain visible.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  sim::simulator& sim_;
+  metrics_registry& reg_;
+  trace_config cfg_;
+  std::uint64_t next_id_ = 1;
+
+  std::array<histogram*, nqe_stage_count> stage_hist_{};
+  counter* sampled_ = nullptr;
+  counter* overflow_ = nullptr;  // traces not started: active set was full
+  // Keyed by (id << 1) | reverse — one histogram per entity and direction.
+  std::unordered_map<std::uint32_t, histogram*> vm_total_;
+  std::unordered_map<std::uint32_t, histogram*> nsm_total_;
+
+  std::unordered_map<std::uint64_t, nqe_trace> active_;
+  std::deque<nqe_trace> done_;
+};
+
+}  // namespace nk::obs

@@ -46,4 +46,26 @@ void link::transmission_done() {
   if (auto next = queue_->take()) begin_transmission(std::move(*next));
 }
 
+void link::register_metrics(obs::metrics_registry& reg,
+                            const std::string& prefix) {
+  reg.register_gauge_fn(prefix + "_packets_sent",
+                        [this] { return double(stats_.packets_sent); });
+  reg.register_gauge_fn(prefix + "_bytes_sent",
+                        [this] { return double(stats_.bytes_sent); });
+  reg.register_gauge_fn(prefix + "_packets_delivered",
+                        [this] { return double(stats_.packets_delivered); });
+  reg.register_gauge_fn(prefix + "_packets_lost",
+                        [this] { return double(stats_.packets_lost); });
+  reg.register_gauge_fn(prefix + "_queue_bytes",
+                        [this] { return double(queue_->byte_count()); });
+  reg.register_gauge_fn(
+      prefix + "_queue_enqueued",
+      [this] { return double(queue_->stats().enqueued); });
+  reg.register_gauge_fn(prefix + "_queue_dropped",
+                        [this] { return double(queue_->stats().dropped); });
+  reg.register_gauge_fn(
+      prefix + "_queue_ecn_marked",
+      [this] { return double(queue_->stats().ecn_marked); });
+}
+
 }  // namespace nk::phys

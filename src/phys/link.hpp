@@ -9,6 +9,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "phys/queue.hpp"
 #include "sim/simulator.hpp"
 
@@ -55,6 +56,10 @@ class link {
   [[nodiscard]] std::size_t queue_bytes() const { return queue_->byte_count(); }
 
   void set_loss_rate(double p) { cfg_.loss_rate = p; }
+
+  // Exposes transmitter and queue state to a metrics registry as callback
+  // gauges under `<prefix>_...`. The registry must not outlive this link.
+  void register_metrics(obs::metrics_registry& reg, const std::string& prefix);
 
  private:
   void begin_transmission(net::packet p);

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/log.hpp"
+
 namespace nk::sim {
 
 void timer::cancel() {
@@ -13,7 +15,17 @@ bool timer::pending() const {
   return s && !s->cancelled && !s->fired;
 }
 
-simulator::simulator(std::uint64_t seed) : rng_{seed} {}
+simulator::simulator(std::uint64_t seed) : rng_{seed} {
+  // Stamp log lines with this simulation's virtual clock. Last constructed
+  // simulator wins, which is what sequential tests expect.
+  set_log_clock([this] { return now_.count(); });
+}
+
+simulator::~simulator() {
+  // Unconditionally drop the hook: a cleared clock merely loses the time
+  // prefix, while a dangling one would be a use-after-free.
+  set_log_clock(nullptr);
+}
 
 timer simulator::schedule(sim_time delay, callback fn) {
   assert(delay >= sim_time::zero() && "cannot schedule into the past");

@@ -38,6 +38,7 @@ class timer {
 class simulator {
  public:
   explicit simulator(std::uint64_t seed = 1);
+  ~simulator();
 
   simulator(const simulator&) = delete;
   simulator& operator=(const simulator&) = delete;

@@ -29,6 +29,24 @@ void netstack::bind_netdev(phys::netdev& dev) {
 
 void netstack::add_core(sim::cpu_core& core) { cores_.push_back(&core); }
 
+void netstack::register_metrics(obs::metrics_registry& reg,
+                                const std::string& prefix) {
+  reg.register_gauge_fn(prefix + "_tx_packets",
+                        [this] { return double(stats_.tx_packets); });
+  reg.register_gauge_fn(prefix + "_rx_packets",
+                        [this] { return double(stats_.rx_packets); });
+  reg.register_gauge_fn(prefix + "_rx_no_socket",
+                        [this] { return double(stats_.rx_no_socket); });
+  reg.register_gauge_fn(prefix + "_resets_sent",
+                        [this] { return double(stats_.resets_sent); });
+  reg.register_gauge_fn(prefix + "_connections_opened",
+                        [this] { return double(stats_.connections_opened); });
+  reg.register_gauge_fn(prefix + "_connections_accepted",
+                        [this] { return double(stats_.connections_accepted); });
+  reg.register_gauge_fn(prefix + "_open_sockets",
+                        [this] { return double(sockets_.size()); });
+}
+
 sim::cpu_core* netstack::pick_core() {
   if (cores_.empty()) return nullptr;
   sim::cpu_core* core = cores_[next_core_ % cores_.size()];

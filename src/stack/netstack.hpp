@@ -24,6 +24,7 @@
 #include "common/result.hpp"
 #include "net/address.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "phys/nic.hpp"
 #include "sim/cpu_core.hpp"
 #include "sim/simulator.hpp"
@@ -129,6 +130,11 @@ class netstack {
   [[nodiscard]] const std::string& name() const { return cfg_.name; }
   [[nodiscard]] const netstack_stats& stats() const { return stats_; }
   [[nodiscard]] sim::simulator& simulator() { return sim_; }
+
+  // Exposes the stack counters to a metrics registry as callback gauges
+  // under `<prefix>_...` — export-time sampling, zero per-packet cost. The
+  // registry must not outlive this stack.
+  void register_metrics(obs::metrics_registry& reg, const std::string& prefix);
 
   // TCP sockets ----------------------------------------------------------------
 

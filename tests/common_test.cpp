@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/buffer.hpp"
+#include "common/log.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -193,6 +194,62 @@ TEST(stats, percentiles) {
   EXPECT_NEAR(s.percentile(99), 99.0, 1.0);
   s.add(1000);  // re-sorting after append must work
   EXPECT_EQ(s.max(), 1000.0);
+}
+
+TEST(stats, percentile_nearest_rank_edges) {
+  // Empty set answers 0 for every p.
+  sample_set empty;
+  EXPECT_EQ(empty.percentile(0), 0.0);
+  EXPECT_EQ(empty.percentile(50), 0.0);
+  EXPECT_EQ(empty.percentile(100), 0.0);
+
+  // A single sample is every percentile, including p = 0.
+  sample_set one;
+  one.add(42.0);
+  EXPECT_EQ(one.percentile(0), 42.0);
+  EXPECT_EQ(one.percentile(50), 42.0);
+  EXPECT_EQ(one.percentile(99), 42.0);
+  EXPECT_EQ(one.percentile(100), 42.0);
+  EXPECT_EQ(one.p99(), 42.0);
+
+  // Nearest rank on two samples: p50 is the FIRST sample (rank ceil(1)),
+  // anything above 50 the second.
+  sample_set two;
+  two.add(10.0);
+  two.add(20.0);
+  EXPECT_EQ(two.percentile(0), 10.0);
+  EXPECT_EQ(two.percentile(50), 10.0);
+  EXPECT_EQ(two.percentile(50.1), 20.0);
+  EXPECT_EQ(two.percentile(100), 20.0);
+
+  // Out-of-range p clamps rather than indexing out of bounds.
+  EXPECT_EQ(two.percentile(-5), 10.0);
+  EXPECT_EQ(two.percentile(200), 20.0);
+
+  // p99 over 1..200: rank ceil(0.99 * 200) = 198.
+  sample_set big;
+  for (int i = 1; i <= 200; ++i) big.add(i);
+  EXPECT_EQ(big.p99(), 198.0);
+}
+
+TEST(log, parse_log_level_names) {
+  EXPECT_EQ(parse_log_level("trace"), log_level::trace);
+  EXPECT_EQ(parse_log_level("DEBUG"), log_level::debug);
+  EXPECT_EQ(parse_log_level("Info"), log_level::info);
+  EXPECT_EQ(parse_log_level("warn"), log_level::warn);
+  EXPECT_EQ(parse_log_level("ERROR"), log_level::error);
+  EXPECT_EQ(parse_log_level("off"), log_level::off);
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("warning"), std::nullopt);  // exact names only
+}
+
+TEST(log, set_level_overrides_and_restores) {
+  const log_level before = current_log_level();
+  set_log_level(log_level::error);
+  EXPECT_EQ(current_log_level(), log_level::error);
+  set_log_level(before);
+  EXPECT_EQ(current_log_level(), before);
 }
 
 TEST(token_bucket, starts_full_and_refills) {

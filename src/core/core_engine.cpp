@@ -30,6 +30,26 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
   metrics_.register_gauge_fn("engine_accept_fds_minted", [this] {
     return static_cast<double>(stats_.accept_fds_minted);
   });
+  // Pipeline-wide overflow accounting: the engine's own staging lists plus
+  // every ServiceLib's and GuestLib's, so one pair of numbers captures the
+  // failure-accounting invariant (delivered + deferred + dropped = produced).
+  metrics_.register_gauge_fn("engine_nqes_deferred", [this] {
+    double d = static_cast<double>(stats_.nqes_deferred);
+    for (const auto& [id, svc] : services_) {
+      d += static_cast<double>(svc->stats().nqes_deferred);
+    }
+    for (const auto& [vm, att] : attachments_) {
+      if (att.glib) d += static_cast<double>(att.glib->stats().jobs_deferred);
+    }
+    return d;
+  });
+  metrics_.register_gauge_fn("engine_nqes_dropped", [this] {
+    double d = static_cast<double>(stats_.nqes_dropped);
+    for (const auto& [id, svc] : services_) {
+      d += static_cast<double>(svc->stats().nqes_dropped);
+    }
+    return d;
+  });
   if (core_ != nullptr) {
     metrics_.register_gauge_fn("engine_core_utilization",
                                [c = core_] { return c->utilization(); });
@@ -41,8 +61,8 @@ core_engine::~core_engine() = default;
 nsm& core_engine::create_nsm(const nsm_config& cfg) {
   auto module = std::make_unique<nsm>(host_, next_nsm_id_++, cfg);
   nsm& ref = *module;
-  auto service = std::make_unique<service_lib>(ref, sim_, cfg_.costs,
-                                               cfg_.notification, &tracer_);
+  auto service = std::make_unique<service_lib>(
+      ref, sim_, cfg_.costs, cfg_.notification, &tracer_, cfg_.overflow_limit);
   service->set_sla_manager(&sla_);
   service->start();
   services_[ref.id()] = std::move(service);
@@ -101,6 +121,7 @@ guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
   att.module = &module;
   att.ch = std::make_unique<channel>(vm.id(), module.id(),
                                      host_.next_region_key(), cfg_.channel);
+  att.stage = std::make_unique<overflow_stage>();
 
   channel* ch = att.ch.get();
   att.vm_to_nsm = std::make_unique<queue_pump>(
@@ -152,6 +173,18 @@ guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
   metrics_.register_gauge_fn(p + "_pool_chunks_free", [ch] {
     return static_cast<double>(ch->pool.chunks_free());
   });
+  // Staged (overflowed) depth per direction; nonzero means a ring filled
+  // and the engine is carrying the excess until the consumer catches up.
+  overflow_stage* st = att.stage.get();
+  metrics_.register_gauge_fn(p + "_staged_to_nsm", [st] {
+    return static_cast<double>(st->to_nsm.size());
+  });
+  metrics_.register_gauge_fn(p + "_staged_to_vm", [st] {
+    return static_cast<double>(st->to_vm_depth());
+  });
+  metrics_.register_gauge_fn(p + "_nsm_staged_out", [service, id = vm.id()] {
+    return static_cast<double>(service->staged_depth(id));
+  });
 
   auto [it, inserted] = attachments_.emplace(vm.id(), std::move(att));
   log_info("core_engine: attached vm ", vm.id(), " (", vm.name(),
@@ -165,13 +198,72 @@ void core_engine::notify_from_vm(virt::vm_id vm) {
   }
 }
 
+void core_engine::notify_vm_space(virt::vm_id vm) {
+  if (auto it = attachments_.find(vm); it != attachments_.end()) {
+    it->second.nsm_to_vm->notify();
+  }
+}
+
+// --- overflow staging ------------------------------------------------------------
+
+void core_engine::defer_or_drop(attachment& att, std::deque<shm::nqe>& stage,
+                                const shm::nqe& e) {
+  if (stage.size() < cfg_.overflow_limit ||
+      !shm::droppable_on_overflow(e.op)) {
+    stage.push_back(e);
+    ++stats_.nqes_deferred;
+    return;
+  }
+  // Hard cap: discard pure data, recycle its chunk, count the loss. The
+  // pipeline never gets here while gating works (pops stop when a stage
+  // fills); this is the bounded-memory backstop.
+  ++stats_.nqes_dropped;
+  tracer_.drop(e.reserved);
+  if (!e.desc.empty()) (void)att.ch->pool.free(e.desc.chunk);
+}
+
+std::size_t core_engine::flush_stage_to_nsm(attachment& att) {
+  auto& stage = att.stage->to_nsm;
+  std::size_t n = 0;
+  while (!stage.empty() && att.ch->nsm_q.job.push(stage.front())) {
+    stage.pop_front();
+    ++n;
+  }
+  if (n > 0) {
+    if (auto* service = service_of(att.module->id())) service->notify();
+  }
+  return n;
+}
+
+std::size_t core_engine::flush_stage_to_vm(attachment& att) {
+  std::size_t n = 0;
+  auto flush_one = [&](std::deque<shm::nqe>& stage, shm::nqe_queue& ring) {
+    while (!stage.empty() && ring.push(stage.front())) {
+      stage.pop_front();
+      ++att.ch->nqes_nsm_to_vm;
+      ++n;
+    }
+  };
+  flush_one(att.stage->completion, att.ch->vm_q.completion);
+  flush_one(att.stage->receive, att.ch->vm_q.receive);
+  if (n > 0 && att.glib) att.glib->notify();
+  return n;
+}
+
 // --- VM -> NSM direction ---------------------------------------------------------
 
 std::size_t core_engine::drain_vm_jobs(attachment& att) {
+  // Overflowed nqes first: they are older than anything still in the ring.
+  std::size_t n = flush_stage_to_nsm(att);
   shm::nqe e;
-  std::size_t n = 0;
-  while (n < drain_batch && att.ch->vm_q.job.pop(e)) {
+  std::size_t popped = 0;
+  // Stop accepting new work once the stage is at the limit — the job ring
+  // then fills and GuestLib's would_block machinery pushes back on the app.
+  while (n < drain_batch &&
+         att.stage->to_nsm.size() < cfg_.overflow_limit &&
+         att.ch->vm_q.job.pop(e)) {
     ++n;
+    ++popped;
     ++att.ch->nqes_vm_to_nsm;
     tracer_.stamp(e.reserved, obs::nqe_stage::vm_job_dwell);
     // The copy between queue sets costs ~12 ns on the CoreEngine core
@@ -186,6 +278,8 @@ std::size_t core_engine::drain_vm_jobs(attachment& att) {
       forward_to_nsm(att, e);
     }
   }
+  // Job-ring slots opened up: GuestLib may have deferred ops to flush.
+  if (popped > 0 && att.glib) att.glib->notify();
   return n;
 }
 
@@ -243,18 +337,29 @@ void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
 
 void core_engine::deliver_to_nsm(attachment& att, const shm::nqe& e) {
   tracer_.stamp(e.reserved, obs::nqe_stage::engine_copy_fwd);
-  (void)att.ch->nsm_q.job.push(e);
+  // Staged nqes go first (FIFO): never let a new push overtake them.
+  if (!att.stage->to_nsm.empty() || !att.ch->nsm_q.job.push(e)) {
+    defer_or_drop(att, att.stage->to_nsm, e);
+    return;
+  }
   if (auto* service = service_of(att.module->id())) service->notify();
 }
 
 // --- NSM -> VM direction -----------------------------------------------------------
 
 std::size_t core_engine::drain_nsm_queues(attachment& att) {
+  // Overflowed completions/events first, then new work — but only while
+  // the VM-side stage stays below the limit; beyond it, leave nqes in the
+  // NSM rings so ServiceLib sees the pressure and stalls its reads.
+  std::size_t n = flush_stage_to_vm(att);
   shm::nqe e;
-  std::size_t n = 0;
+  std::size_t popped = 0;
   // Completions first, then events; the CE core keeps this order downstream.
-  while (n < drain_batch && att.ch->nsm_q.completion.pop(e)) {
+  while (n < drain_batch &&
+         att.stage->to_vm_depth() < cfg_.overflow_limit &&
+         att.ch->nsm_q.completion.pop(e)) {
     ++n;
+    ++popped;
     tracer_.stamp(e.reserved, obs::nqe_stage::nsm_out_dwell);
     if (core_ != nullptr) {
       core_->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), e] {
@@ -266,8 +371,11 @@ std::size_t core_engine::drain_nsm_queues(attachment& att) {
       forward_to_vm(att, e, false);
     }
   }
-  while (n < drain_batch && att.ch->nsm_q.receive.pop(e)) {
+  while (n < drain_batch &&
+         att.stage->to_vm_depth() < cfg_.overflow_limit &&
+         att.ch->nsm_q.receive.pop(e)) {
     ++n;
+    ++popped;
     tracer_.stamp(e.reserved, obs::nqe_stage::nsm_out_dwell);
     if (core_ != nullptr) {
       core_->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), e] {
@@ -278,6 +386,10 @@ std::size_t core_engine::drain_nsm_queues(attachment& att) {
     } else {
       forward_to_vm(att, e, true);
     }
+  }
+  // NSM-ring slots opened up: ServiceLib may have staged output to flush.
+  if (popped > 0) {
+    if (auto* service = service_of(att.module->id())) service->notify();
   }
   return n;
 }
@@ -363,7 +475,14 @@ void core_engine::forward_to_vm(attachment& att, shm::nqe e,
 
   tracer_.stamp(e.reserved, obs::nqe_stage::engine_copy_rev);
   auto& queue = receive_queue ? att.ch->vm_q.receive : att.ch->vm_q.completion;
-  (void)queue.push(e);
+  auto& stage = receive_queue ? att.stage->receive : att.stage->completion;
+  // A failed push must not count as delivered, and a critical nqe (a
+  // cmp_socket carrying the flow's cID, a cmp_send releasing credit) must
+  // survive a full ring — it parks in the stage and flushes in order.
+  if (!stage.empty() || !queue.push(e)) {
+    defer_or_drop(att, stage, e);
+    return;
+  }
   ++att.ch->nqes_nsm_to_vm;
   if (att.glib) att.glib->notify();
 }

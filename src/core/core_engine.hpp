@@ -35,6 +35,10 @@ struct core_engine_config {
   notify_config notification{};  // used for every pump in the system
   channel_config channel{};
   obs::trace_config trace{};  // nqe lifecycle tracing (off by default)
+  // Backpressure: staged nqes per direction per VM before the engine stops
+  // accepting new work from the upstream ring, and the hard cap beyond
+  // which droppable (pure-data) nqes are discarded with accounting.
+  std::size_t overflow_limit = 1024;
 };
 
 struct core_engine_stats {
@@ -43,6 +47,8 @@ struct core_engine_stats {
   std::uint64_t mappings_installed = 0;
   std::uint64_t mappings_removed = 0;
   std::uint64_t unroutable_nqes = 0;
+  std::uint64_t nqes_deferred = 0;  // staged on a full ring, delivered later
+  std::uint64_t nqes_dropped = 0;   // discarded at the cap (chunks recycled)
 };
 
 class guest_lib;
@@ -91,6 +97,11 @@ class core_engine {
   // Doorbell: the VM pushed into its job queue.
   void notify_from_vm(virt::vm_id vm);
 
+  // Doorbell: the VM popped from its completion/receive queues, so staged
+  // NSM->VM nqes may now fit (keeps the overflow lists live under
+  // batched-interrupt notification, where nothing else would re-run the pump).
+  void notify_vm_space(virt::vm_id vm);
+
  private:
   struct flow_key {
     virt::vm_id vm;
@@ -118,6 +129,21 @@ class core_engine {
     bool cid_known = false;
     std::deque<shm::nqe> pending;  // ops queued until the cid arrives
   };
+  // Per-direction overflow staging (the backpressure subsystem). Rings are
+  // fixed-size shared memory and cannot grow; when a push meets a full ring
+  // the nqe parks here and the owning pump re-drains it — in order, before
+  // accepting new work — once the consumer frees slots. Heap-allocated so
+  // the metrics gauges can hold a stable pointer across rehashes of
+  // `attachments_`.
+  struct overflow_stage {
+    std::deque<shm::nqe> to_nsm;      // nsm_q.job overflow (VM -> NSM)
+    std::deque<shm::nqe> completion;  // vm_q.completion overflow (NSM -> VM)
+    std::deque<shm::nqe> receive;     // vm_q.receive overflow (NSM -> VM)
+    [[nodiscard]] std::size_t to_vm_depth() const {
+      return completion.size() + receive.size();
+    }
+  };
+
   struct attachment {
     virt::machine* vm = nullptr;
     nsm* module = nullptr;
@@ -125,6 +151,7 @@ class core_engine {
     std::unique_ptr<guest_lib> glib;
     std::unique_ptr<queue_pump> vm_to_nsm;  // drains ch->vm_q.job
     std::unique_ptr<queue_pump> nsm_to_vm;  // drains ch->nsm_q.{completion,receive}
+    std::unique_ptr<overflow_stage> stage;
     std::uint32_t next_accept_fd = 0x80000000;  // CE-minted fds for accepts
   };
 
@@ -133,6 +160,13 @@ class core_engine {
   void forward_to_nsm(attachment& att, shm::nqe e);
   void forward_to_vm(attachment& att, shm::nqe e, bool receive_queue);
   void deliver_to_nsm(attachment& att, const shm::nqe& e);
+
+  // Overflow plumbing: park an nqe whose push failed (or drop it with full
+  // accounting once the stage hits the cap), and re-drain staged nqes.
+  void defer_or_drop(attachment& att, std::deque<shm::nqe>& stage,
+                     const shm::nqe& e);
+  std::size_t flush_stage_to_nsm(attachment& att);
+  std::size_t flush_stage_to_vm(attachment& att);
   [[nodiscard]] std::uint64_t make_token(virt::vm_id vm, std::uint32_t fd) const {
     return (std::uint64_t{vm} << 32) | fd;
   }

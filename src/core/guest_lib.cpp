@@ -50,22 +50,70 @@ void guest_lib::submit(const g_socket& gs, shm::nqe e, sim_time extra_cost) {
   e.owner = vm_.id();
   const sim_time cost = costs_.guestlib_per_op + extra_cost;
   if (gs.core != nullptr) {
-    gs.core->execute(cost, [this, e]() mutable {
-      // Trace begins at the moment the nqe lands in the VM-side job queue,
-      // after the GuestLib interception cost has been paid.
-      if (tracer_ != nullptr) {
-        tracer_->maybe_begin(e, /*reverse=*/false, vm_.id(), ch_.nsm);
-      }
-      (void)ch_.vm_q.job.push(e);
-      engine_.notify_from_vm(vm_.id());
-    });
+    gs.core->execute(cost, [this, e] { enqueue_job(e); });
     return;
   }
+  enqueue_job(e);
+}
+
+void guest_lib::enqueue_job(shm::nqe e) {
+  // Trace begins at the moment the nqe is bound for the VM-side job queue
+  // (after the GuestLib interception cost), whether it lands on the ring
+  // immediately or waits in the local pending list.
   if (tracer_ != nullptr) {
     tracer_->maybe_begin(e, /*reverse=*/false, vm_.id(), ch_.nsm);
   }
-  (void)ch_.vm_q.job.push(e);
-  engine_.notify_from_vm(vm_.id());
+  // Pending jobs flush first; a new push never overtakes them.
+  if (pending_jobs_.empty() && ch_.vm_q.job.push(e)) {
+    engine_.notify_from_vm(vm_.id());
+    return;
+  }
+  pending_jobs_.push_back(e);
+  ++stats_.jobs_deferred;
+}
+
+std::size_t guest_lib::flush_pending_jobs() {
+  std::size_t n = 0;
+  while (!pending_jobs_.empty() && ch_.vm_q.job.push(pending_jobs_.front())) {
+    pending_jobs_.pop_front();
+    ++n;
+  }
+  if (n > 0) {
+    engine_.notify_from_vm(vm_.id());
+    // The backlog cleared below the gate: sockets blocked on it can write.
+    if (!tx_backlogged()) wake_writers();
+  }
+  return n;
+}
+
+void guest_lib::wake_writers() {
+  std::vector<std::uint32_t> ready;
+  for (auto& [fd, gs] : sockets_) {
+    if (gs.writable_blocked && gs.inflight < cfg_.send_credit) {
+      gs.writable_blocked = false;
+      ready.push_back(fd);
+    }
+  }
+  for (const std::uint32_t fd : ready) {
+    emit_event(fd, stack::socket_event_type::writable);
+  }
+}
+
+void guest_lib::recycle_chunk(const shm::nqe& e) {
+  shm::nqe back;
+  back.op = shm::nqe_op::req_recv_window;
+  back.handle = e.handle;
+  back.desc = e.desc;
+  back.owner = vm_.id();
+  if (pending_jobs_.empty() && ch_.vm_q.job.push(back)) {
+    engine_.notify_from_vm(vm_.id());
+    return;
+  }
+  // Job path is backed up: free the chunk in place rather than queueing the
+  // recycle behind it. GuestLib shares the pool, so the credit cannot be
+  // lost — ServiceLib re-checks chunks_free when it resumes stalled reads.
+  (void)ch_.pool.free(e.desc.chunk);
+  ++stats_.chunks_freed_local;
 }
 
 // --- socket API ---------------------------------------------------------------------
@@ -151,7 +199,7 @@ result<std::size_t> guest_lib::nk_send(std::uint32_t fd, buffer data) {
   const std::size_t chunk_size = ch_.pool.chunk_size();
   std::size_t accepted = 0;
   while (accepted < data.size()) {
-    if (gs->inflight >= cfg_.send_credit) {
+    if (gs->inflight >= cfg_.send_credit || tx_backlogged()) {
       gs->writable_blocked = true;
       ++stats_.send_blocked;
       break;
@@ -251,7 +299,7 @@ result<std::size_t> guest_lib::nk_udp_send_to(std::uint32_t fd,
   if (gs == nullptr) return errc::not_found;
   if (!gs->udp) return errc::invalid_argument;
   if (data.size() > ch_.pool.chunk_size()) return errc::invalid_argument;
-  if (gs->inflight + data.size() > cfg_.send_credit) {
+  if (gs->inflight + data.size() > cfg_.send_credit || tx_backlogged()) {
     ++stats_.send_blocked;
     return errc::would_block;
   }
@@ -436,25 +484,30 @@ void guest_lib::emit_event(std::uint32_t fd, stack::socket_event_type type,
 }
 
 std::size_t guest_lib::drain() {
+  // Re-drive jobs deferred on a full VM-side job ring before consuming new
+  // completions; CoreEngine may have drained the ring since the overflow.
+  std::size_t n = flush_pending_jobs();
   shm::nqe e;
-  std::size_t n = 0;
-  while (n < drain_batch && ch_.vm_q.completion.pop(e)) {
-    ++n;
+  std::size_t popped = 0;
+  while (popped < drain_batch && ch_.vm_q.completion.pop(e)) {
+    ++popped;
     if (tracer_ != nullptr && e.reserved != 0) {
       tracer_->stamp(e.reserved, obs::nqe_stage::vm_out_dwell);
       tracer_->finish(e.reserved);
     }
     handle_nqe(e);
   }
-  while (n < drain_batch && ch_.vm_q.receive.pop(e)) {
-    ++n;
+  while (popped < drain_batch && ch_.vm_q.receive.pop(e)) {
+    ++popped;
     if (tracer_ != nullptr && e.reserved != 0) {
       tracer_->stamp(e.reserved, obs::nqe_stage::vm_out_dwell);
       tracer_->finish(e.reserved);
     }
     handle_nqe(e);
   }
-  return n;
+  // Freed out-ring space: let CoreEngine flush anything it has staged.
+  if (popped > 0) engine_.notify_vm_space(vm_.id());
+  return n + popped;
 }
 
 void guest_lib::handle_nqe(const shm::nqe& e) {
@@ -504,13 +557,7 @@ void guest_lib::handle_nqe(const shm::nqe& e) {
       auto* gs = socket_of(e.handle);
       if (gs == nullptr) {
         // Socket closed locally while data was in flight: recycle the chunk.
-        shm::nqe back;
-        back.op = shm::nqe_op::req_recv_window;
-        back.handle = e.handle;
-        back.desc = e.desc;
-        back.owner = vm_.id();
-        (void)ch_.vm_q.job.push(back);
-        engine_.notify_from_vm(vm_.id());
+        recycle_chunk(e);
         return;
       }
       gs->rx.push_back(rx_item{e.desc, 0});
@@ -521,13 +568,7 @@ void guest_lib::handle_nqe(const shm::nqe& e) {
     case shm::nqe_op::ev_udp_data: {
       auto* gs = socket_of(e.handle);
       if (gs == nullptr) {
-        shm::nqe back;
-        back.op = shm::nqe_op::req_recv_window;
-        back.handle = e.handle;
-        back.desc = e.desc;
-        back.owner = vm_.id();
-        (void)ch_.vm_q.job.push(back);
-        engine_.notify_from_vm(vm_.id());
+        recycle_chunk(e);
         return;
       }
       udp_rx_item item;

@@ -47,12 +47,17 @@ struct guest_lib_stats {
   std::uint64_t ops_issued = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
-  std::uint64_t send_blocked = 0;  // credit or chunk exhaustion
+  std::uint64_t send_blocked = 0;  // credit, chunk, or job-ring exhaustion
   std::uint64_t events_delivered = 0;
+  std::uint64_t jobs_deferred = 0;       // staged on a full VM-side job ring
+  std::uint64_t chunks_freed_local = 0;  // recycles short-circuited in-VM
 };
 
 struct guest_lib_config {
   std::uint64_t send_credit = 1024 * 1024;  // outstanding bytes per socket
+  // Jobs staged locally when the VM-side job ring is full before the app
+  // starts seeing would_block on sends.
+  std::size_t max_deferred_jobs = 256;
 };
 
 class guest_lib {
@@ -163,6 +168,17 @@ class guest_lib {
   std::size_t drain();  // pump callback: completion + receive queues
   void handle_nqe(const shm::nqe& e);
   void submit(const g_socket& gs, shm::nqe e, sim_time extra_cost);
+
+  // Job-ring overflow plumbing. enqueue_job never loses an nqe: a push that
+  // finds the ring full lands in pending_jobs_ and is re-driven, in order,
+  // by flush_pending_jobs() on every drain.
+  void enqueue_job(shm::nqe e);
+  std::size_t flush_pending_jobs();
+  void wake_writers();
+  void recycle_chunk(const shm::nqe& e);
+  [[nodiscard]] bool tx_backlogged() const {
+    return pending_jobs_.size() >= cfg_.max_deferred_jobs;
+  }
   void emit_event(std::uint32_t fd, stack::socket_event_type type,
                   errc error = errc::ok);
   [[nodiscard]] g_socket* socket_of(std::uint32_t fd);
@@ -177,6 +193,7 @@ class guest_lib {
   obs::nqe_tracer* tracer_ = nullptr;
   std::unique_ptr<queue_pump> pump_;
 
+  std::deque<shm::nqe> pending_jobs_;  // overflow stage for vm_q.job
   std::unordered_map<std::uint32_t, g_socket> sockets_;
   std::uint32_t next_fd_ = 3;
   std::size_t next_core_ = 0;

@@ -13,8 +13,13 @@ constexpr std::size_t drain_batch = 64;
 
 service_lib::service_lib(nsm& owner, sim::simulator& s,
                          const netkernel_costs& costs,
-                         const notify_config& ncfg, obs::nqe_tracer* tracer)
-    : nsm_{owner}, sim_{s}, costs_{costs}, tracer_{tracer} {
+                         const notify_config& ncfg, obs::nqe_tracer* tracer,
+                         std::size_t overflow_limit)
+    : nsm_{owner},
+      sim_{s},
+      costs_{costs},
+      overflow_limit_{overflow_limit},
+      tracer_{tracer} {
   pump_ = std::make_unique<queue_pump>(s, ncfg, [this] { return drain_jobs(); });
 }
 
@@ -58,32 +63,84 @@ sim_time service_lib::op_cost() const {
   return costs_.servicelib_per_op + nsm_.profile().per_op_overhead;
 }
 
-void service_lib::push_completion(served_vm& svm, shm::nqe e) {
-  e.owner = nsm_.id();
-  // A reverse-path trace begins here: the completion enters the NSM-side
-  // completion queue bound for CoreEngine and the tenant VM.
-  if (tracer_ != nullptr) {
-    tracer_->maybe_begin(e, /*reverse=*/true, svm.ch->vm_id, nsm_.id());
-  }
-  if (!svm.ch->nsm_q.completion.push(e)) {
-    if (tracer_ != nullptr) tracer_->drop(e.reserved);
-    return;  // full: dropped, caller retries
-  }
-  ++svm.ch->nqes_nsm_to_vm;
-  if (svm.notify_ce) svm.notify_ce();
+bool service_lib::push_completion(served_vm& svm, shm::nqe e) {
+  return push_out(svm, e, /*receive=*/false);
 }
 
-void service_lib::push_receive(served_vm& svm, shm::nqe e) {
+bool service_lib::push_receive(served_vm& svm, shm::nqe e) {
+  return push_out(svm, e, /*receive=*/true);
+}
+
+bool service_lib::push_out(served_vm& svm, shm::nqe e, bool receive) {
   e.owner = nsm_.id();
+  // A reverse-path trace begins here: the nqe enters the NSM-side out-queue
+  // bound for CoreEngine and the tenant VM.
   if (tracer_ != nullptr) {
     tracer_->maybe_begin(e, /*reverse=*/true, svm.ch->vm_id, nsm_.id());
   }
-  if (!svm.ch->nsm_q.receive.push(e)) {
-    if (tracer_ != nullptr) tracer_->drop(e.reserved);
+  auto& ring = receive ? svm.ch->nsm_q.receive : svm.ch->nsm_q.completion;
+  auto& staged = receive ? svm.staged_receive : svm.staged_completion;
+  // Staged nqes flush first; a new push never overtakes them.
+  if (staged.empty() && ring.push(e)) {
+    ++svm.ch->nqes_nsm_to_vm;
+    if (svm.notify_ce) svm.notify_ce();
+    return true;
+  }
+  if (staged.size() < overflow_limit_ || !shm::droppable_on_overflow(e.op)) {
+    staged.push_back(e);
+    ++stats_.nqes_deferred;
+    return true;
+  }
+  // Hard cap: discard pure data with full accounting. The read paths stall
+  // before this point, so reaching it means a pathological burst.
+  ++stats_.nqes_dropped;
+  if (tracer_ != nullptr) tracer_->drop(e.reserved);
+  if (!e.desc.empty()) (void)svm.ch->pool.free(e.desc.chunk);
+  return false;
+}
+
+std::size_t service_lib::flush_staged(served_vm& svm) {
+  std::size_t n = 0;
+  auto flush_one = [&](std::deque<shm::nqe>& staged, shm::nqe_queue& ring) {
+    while (!staged.empty() && ring.push(staged.front())) {
+      staged.pop_front();
+      ++svm.ch->nqes_nsm_to_vm;
+      ++n;
+    }
+  };
+  flush_one(svm.staged_completion, svm.ch->nsm_q.completion);
+  flush_one(svm.staged_receive, svm.ch->nsm_q.receive);
+  if (n > 0 && svm.notify_ce) svm.notify_ce();
+  return n;
+}
+
+void service_lib::maybe_resume_stalled(served_vm& svm) {
+  if (svm.stalled_reads.empty()) return;
+  // A read stalls on chunk exhaustion or out-queue pressure; resume once
+  // both have cleared. (Also covers wakeups lost to a dropped recycle nqe.)
+  if (svm.ch->pool.chunks_free() == 0) return;
+  if (!svm.staged_receive.empty() ||
+      svm.ch->nsm_q.receive.space_approx() == 0) {
     return;
   }
-  ++svm.ch->nqes_nsm_to_vm;
-  if (svm.notify_ce) svm.notify_ce();
+  auto stalled = std::move(svm.stalled_reads);
+  svm.stalled_reads.clear();
+  for (const std::uint32_t cid : stalled) {
+    if (auto* ps = socket_by_cid(cid)) {
+      if (ps->udp) {
+        pump_udp_reads(*ps);
+      } else {
+        pump_reads(*ps);
+      }
+    }
+  }
+}
+
+std::size_t service_lib::staged_depth(virt::vm_id vm) const {
+  auto it = vms_.find(vm);
+  if (it == vms_.end()) return 0;
+  return it->second.staged_completion.size() +
+         it->second.staged_receive.size();
 }
 
 service_lib::proto_socket* service_lib::socket_by_cid(std::uint32_t cid) {
@@ -123,11 +180,21 @@ std::size_t service_lib::drain_jobs() {
   std::size_t total = 0;
   bool left_behind = false;
   for (auto& [vm, svm] : vms_) {
+    // Re-drain overflowed out-nqes before taking on new work, and resume
+    // reads the cleared pressure had stalled.
+    total += flush_staged(svm);
+    maybe_resume_stalled(svm);
     shm::nqe e;
     std::size_t n = 0;
     auto* core = nsm_.core();
     while (n < drain_batch) {
       if (core != nullptr && core->backlog() > backlog_bound) {
+        left_behind = left_behind || !svm.ch->nsm_q.job.empty_approx();
+        break;
+      }
+      if (out_backlogged(svm)) {
+        // The VM is not consuming completions/events; stop accepting new
+        // jobs so pressure reaches the tenant instead of growing the stage.
         left_behind = left_behind || !svm.ch->nsm_q.job.empty_approx();
         break;
       }
@@ -317,18 +384,9 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
     }
     case shm::nqe_op::req_recv_window: {
       (void)svm.ch->pool.free(e.desc.chunk);
-      // Chunks freed: resume any reads stalled on pool exhaustion.
-      auto stalled = std::move(svm.stalled_reads);
-      svm.stalled_reads.clear();
-      for (const std::uint32_t cid : stalled) {
-        if (auto* ps = socket_by_cid(cid)) {
-          if (ps->udp) {
-            pump_udp_reads(*ps);
-          } else {
-            pump_reads(*ps);
-          }
-        }
-      }
+      // Chunks freed: resume any reads stalled on pool exhaustion (as long
+      // as the out-queues have space too).
+      maybe_resume_stalled(svm);
       return;
     }
     case shm::nqe_op::req_udp_open: {
@@ -494,6 +552,14 @@ void service_lib::pump_reads(proto_socket& ps) {
       ++stats_.chunk_stalls;
       return;
     }
+    if (!svm.staged_receive.empty() ||
+        svm.ch->nsm_q.receive.space_approx() == 0) {
+      // Out-queue pressure: the receive ring (or its overflow stage) is
+      // backed up. Leave data in the stack and resume once it drains.
+      svm.stalled_reads.insert(ps.cid);
+      ++stats_.queue_stalls;
+      return;
+    }
     auto r = stack.recv(ps.ssock, chunk_size);
     if (!r) {
       if (r.error() == errc::closed) {
@@ -552,6 +618,12 @@ void service_lib::pump_udp_reads(proto_socket& ps) {
     if (svm.ch->pool.chunks_free() == 0) {
       svm.stalled_reads.insert(ps.cid);
       ++stats_.chunk_stalls;
+      return;
+    }
+    if (!svm.staged_receive.empty() ||
+        svm.ch->nsm_q.receive.space_approx() == 0) {
+      svm.stalled_reads.insert(ps.cid);
+      ++stats_.queue_stalls;
       return;
     }
     auto r = stack.udp_recv_from(ps.ssock);

@@ -33,13 +33,17 @@ struct service_lib_stats {
   std::uint64_t data_events = 0;
   std::uint64_t accept_events = 0;
   std::uint64_t chunk_stalls = 0;      // reads stalled on pool exhaustion
+  std::uint64_t queue_stalls = 0;      // reads stalled on queue backpressure
+  std::uint64_t nqes_deferred = 0;     // staged on a full out-ring
+  std::uint64_t nqes_dropped = 0;      // discarded at the cap (chunks freed)
   std::uint64_t sla_throttles = 0;
 };
 
 class service_lib {
  public:
   service_lib(nsm& owner, sim::simulator& s, const netkernel_costs& costs,
-              const notify_config& ncfg, obs::nqe_tracer* tracer = nullptr);
+              const notify_config& ncfg, obs::nqe_tracer* tracer = nullptr,
+              std::size_t overflow_limit = 1024);
 
   service_lib(const service_lib&) = delete;
   service_lib& operator=(const service_lib&) = delete;
@@ -67,11 +71,19 @@ class service_lib {
   [[nodiscard]] const service_lib_stats& stats() const { return stats_; }
   [[nodiscard]] nsm& module() { return nsm_; }
 
+  // Staged (overflowed) completion/receive nqes held for one served VM —
+  // nonzero means the NSM-side out-rings filled faster than CoreEngine
+  // drained them.
+  [[nodiscard]] std::size_t staged_depth(virt::vm_id vm) const;
+
  private:
   struct served_vm {
     channel* ch = nullptr;
     std::function<void()> notify_ce;
     std::unordered_set<std::uint32_t> stalled_reads;  // cids awaiting chunks
+    // Out-ring overflow staging: flushed, in order, before any new push.
+    std::deque<shm::nqe> staged_completion;
+    std::deque<shm::nqe> staged_receive;
   };
 
   struct pending_tx {
@@ -103,9 +115,21 @@ class service_lib {
   void pump_udp_reads(proto_socket& ps);
   void try_deliver_sends(proto_socket& ps);
 
-  // Queue push helpers (charge CoreEngine-visible completion).
-  void push_completion(served_vm& svm, shm::nqe e);
-  void push_receive(served_vm& svm, shm::nqe e);
+  // Queue push helpers. Fallible by contract: true means the nqe was
+  // delivered or staged for in-order retry; false means it was discarded
+  // (overflow cap hit), its chunk recycled and the drop counted.
+  bool push_completion(served_vm& svm, shm::nqe e);
+  bool push_receive(served_vm& svm, shm::nqe e);
+  bool push_out(served_vm& svm, shm::nqe e, bool receive);
+
+  // Overflow plumbing: re-drain staged nqes into the rings, resume reads
+  // stalled on chunk or queue pressure once it clears.
+  std::size_t flush_staged(served_vm& svm);
+  void maybe_resume_stalled(served_vm& svm);
+  [[nodiscard]] bool out_backlogged(const served_vm& svm) const {
+    return svm.staged_completion.size() + svm.staged_receive.size() >=
+           overflow_limit_;
+  }
 
   [[nodiscard]] proto_socket* socket_by_cid(std::uint32_t cid);
   [[nodiscard]] proto_socket* socket_by_ssock(stack::socket_id s);
@@ -115,6 +139,7 @@ class service_lib {
   nsm& nsm_;
   sim::simulator& sim_;
   netkernel_costs costs_;
+  std::size_t overflow_limit_;
   obs::nqe_tracer* tracer_ = nullptr;
   std::unique_ptr<queue_pump> pump_;
   sla_manager* sla_ = nullptr;

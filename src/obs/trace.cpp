@@ -14,6 +14,7 @@ nqe_tracer::nqe_tracer(sim::simulator& s, metrics_registry& reg,
   }
   sampled_ = &reg.get_counter("nqe_traces_sampled");
   overflow_ = &reg.get_counter("nqe_traces_overflow");
+  dropped_ = &reg.get_counter("nqe_traces_dropped");
 }
 
 std::uint64_t nqe_tracer::maybe_begin(shm::nqe& e, bool reverse,
@@ -100,7 +101,9 @@ void nqe_tracer::finish(std::uint64_t id) {
 }
 
 void nqe_tracer::drop(std::uint64_t id) {
-  if (id != 0) active_.erase(id);
+  // Only a trace that was actually live counts: a request trace already
+  // finished at dispatch (whose id still rides in the nqe) is not a drop.
+  if (id != 0 && active_.erase(id) > 0) dropped_->inc();
 }
 
 std::string nqe_tracer::to_chrome_json() const {

@@ -112,9 +112,17 @@ class nqe_tracer {
   // per-NSM histograms and retires the record for export.
   void finish(std::uint64_t id);
 
-  // Abandons a trace without recording totals (e.g. the queue push that
-  // would have carried it failed).
+  // Abandons a trace without recording totals: the nqe carrying it was
+  // discarded (unroutable, or dropped under overflow). Every call that
+  // retires a live trace increments the `nqe_traces_dropped` counter, so the
+  // registry can cross-check the pipeline's drop accounting.
   void drop(std::uint64_t id);
+
+  // Live traces retired via drop() — the tracer's independent count of
+  // discarded nqes (sampled ones only; sample_rate 1.0 sees every drop).
+  [[nodiscard]] std::uint64_t drops() const {
+    return dropped_ == nullptr ? 0 : dropped_->value();
+  }
 
   [[nodiscard]] std::size_t active_count() const { return active_.size(); }
   [[nodiscard]] const std::deque<nqe_trace>& completed() const {
@@ -135,6 +143,7 @@ class nqe_tracer {
   std::array<histogram*, nqe_stage_count> stage_hist_{};
   counter* sampled_ = nullptr;
   counter* overflow_ = nullptr;  // traces not started: active set was full
+  counter* dropped_ = nullptr;   // live traces retired via drop()
   // Keyed by (id << 1) | reverse — one histogram per entity and direction.
   std::unordered_map<std::uint32_t, histogram*> vm_total_;
   std::unordered_map<std::uint32_t, histogram*> nsm_total_;

@@ -16,7 +16,10 @@ hugepage_pool::hugepage_pool(std::uint32_t key, const hugepage_config& cfg)
 }
 
 result<chunk_ref> hugepage_pool::alloc() {
-  if (free_.empty()) return errc::resource_exhausted;
+  if (exhausted_ || free_.empty()) {
+    ++failed_allocs_;
+    return errc::resource_exhausted;
+  }
   const std::uint32_t index = free_.back();
   free_.pop_back();
   allocated_[index] = true;

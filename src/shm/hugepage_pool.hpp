@@ -40,6 +40,13 @@ class hugepage_pool {
     return cfg_.page_size * cfg_.page_count;
   }
 
+  // Fault injection: while set, alloc() fails with resource_exhausted even
+  // when chunks remain — drives the pipeline's pool-pressure paths (stalled
+  // reads, would_block sends) without needing to genuinely fill the region.
+  void set_exhausted(bool on) { exhausted_ = on; }
+  [[nodiscard]] bool exhausted() const { return exhausted_; }
+  [[nodiscard]] std::uint64_t failed_allocs() const { return failed_allocs_; }
+
   // Takes one chunk from the free list.
   [[nodiscard]] result<chunk_ref> alloc();
 
@@ -62,6 +69,8 @@ class hugepage_pool {
   std::unique_ptr<std::byte[]> region_;
   std::vector<std::uint32_t> free_;
   std::vector<bool> allocated_;
+  bool exhausted_ = false;
+  std::uint64_t failed_allocs_ = 0;
 };
 
 }  // namespace nk::shm

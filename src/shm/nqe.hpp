@@ -92,6 +92,22 @@ enum class nqe_op : std::uint8_t {
   }
 }
 
+// Overflow policy for the backpressure staging lists: which ops may be
+// discarded (with their chunk freed and the drop counted) when a staging
+// list hits its hard cap. Only pure data movement qualifies — dropping a
+// mapping, lifecycle or credit-release nqe (cmp_socket, cmp_send, req_close,
+// ...) strands the flow forever, so those are always staged instead.
+[[nodiscard]] constexpr bool droppable_on_overflow(nqe_op op) {
+  switch (op) {
+    case nqe_op::ev_data:
+    case nqe_op::ev_udp_data:
+    case nqe_op::req_recv_window:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // Reference to one chunk of the shared huge-page region. `pool_key`
 // identifies the VM↔NSM pair the pool belongs to; access through a pool
 // with a different key is rejected (isolation, paper §3.1).

@@ -52,6 +52,16 @@ class nqe_queue {
   [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
   [[nodiscard]] bool prioritized() const { return prioritized_; }
 
+  // Usable slots of the data ring (rounded up from queue_config::depth).
+  [[nodiscard]] std::size_t capacity() const { return data_ring_.capacity(); }
+
+  // Free slots on the ring that carries data events — the ring whose
+  // occupancy actually tracks load. Producers use this to decide whether to
+  // keep generating work; it is a conservative (consumer-lagged) bound.
+  [[nodiscard]] std::size_t space_approx() const {
+    return data_ring_.free_approx();
+  }
+
  private:
   spsc_ring<nqe> data_ring_;
   spsc_ring<nqe> conn_ring_;  // minimal allocation when unused

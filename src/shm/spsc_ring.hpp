@@ -119,6 +119,14 @@ class spsc_ring {
 
   [[nodiscard]] bool empty_approx() const { return size_approx() == 0; }
 
+  // Approximate free slots. A producer reading this sees a lower bound
+  // (the consumer can only add space); backpressure decisions based on it
+  // are conservative, never optimistic.
+  [[nodiscard]] std::size_t free_approx() const {
+    const std::size_t used = size_approx();
+    return used >= cap_ ? 0 : cap_ - used;
+  }
+
  private:
   const std::size_t cap_;
   const std::size_t mask_;

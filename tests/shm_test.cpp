@@ -222,5 +222,59 @@ TEST(endpoint_queues, three_independent_queues) {
   EXPECT_EQ(eq.job.size_approx(), 1u);
 }
 
+TEST(spsc_ring, free_approx_tracks_space) {
+  spsc_ring<int> ring{4};
+  EXPECT_EQ(ring.free_approx(), 4u);
+  ASSERT_TRUE(ring.try_push(1));
+  ASSERT_TRUE(ring.try_push(2));
+  EXPECT_EQ(ring.free_approx(), 2u);
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(ring.free_approx(), 3u);
+  while (ring.try_push(0)) {
+  }
+  EXPECT_EQ(ring.free_approx(), 0u);
+}
+
+TEST(nqe_queue, space_approx_follows_data_ring) {
+  nqe_queue q{queue_config{.depth = 4}};
+  EXPECT_EQ(q.capacity(), 4u);
+  EXPECT_EQ(q.space_approx(), 4u);
+  nqe e;
+  e.op = nqe_op::ev_data;
+  ASSERT_TRUE(q.push(e));
+  ASSERT_TRUE(q.push(e));
+  EXPECT_EQ(q.space_approx(), 2u);
+}
+
+TEST(nqe, only_pure_data_is_droppable_on_overflow) {
+  EXPECT_TRUE(droppable_on_overflow(nqe_op::ev_data));
+  EXPECT_TRUE(droppable_on_overflow(nqe_op::ev_udp_data));
+  EXPECT_TRUE(droppable_on_overflow(nqe_op::req_recv_window));
+  // Lifecycle and credit-bearing nqes must never be discarded: a lost
+  // cmp_socket or cmp_send strands a flow permanently.
+  EXPECT_FALSE(droppable_on_overflow(nqe_op::cmp_socket));
+  EXPECT_FALSE(droppable_on_overflow(nqe_op::cmp_send));
+  EXPECT_FALSE(droppable_on_overflow(nqe_op::ev_accept));
+  EXPECT_FALSE(droppable_on_overflow(nqe_op::ev_closed));
+  EXPECT_FALSE(droppable_on_overflow(nqe_op::req_close));
+}
+
+TEST(hugepage_pool, exhaustion_toggle_fails_allocs_and_counts) {
+  hugepage_pool pool{1, hugepage_config{.page_size = 64 * 1024,
+                                        .page_count = 1,
+                                        .chunk_size = 8 * 1024}};
+  pool.set_exhausted(true);
+  EXPECT_FALSE(pool.alloc());
+  EXPECT_FALSE(pool.alloc());
+  EXPECT_EQ(pool.failed_allocs(), 2u);
+  EXPECT_EQ(pool.chunks_free(), pool.chunk_count());  // nothing handed out
+  pool.set_exhausted(false);
+  auto chunk = pool.alloc();
+  ASSERT_TRUE(chunk);
+  EXPECT_EQ(pool.failed_allocs(), 2u);
+  EXPECT_TRUE(pool.free(chunk.value()).ok());
+}
+
 }  // namespace
 }  // namespace nk::shm

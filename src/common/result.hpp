@@ -28,6 +28,8 @@ enum class errc {
   permission_denied,   // isolation violation (e.g. foreign huge-page access)
   not_supported,       // operation not available on this stack / guest OS
   resource_exhausted,  // out of ports, queue slots, chunks, ...
+  nsm_reset,           // provider replaced the network stack module; the
+                       // connection's state died with the old incarnation
 };
 
 [[nodiscard]] constexpr std::string_view to_string(errc e) {
@@ -47,6 +49,7 @@ enum class errc {
     case errc::permission_denied: return "permission_denied";
     case errc::not_supported: return "not_supported";
     case errc::resource_exhausted: return "resource_exhausted";
+    case errc::nsm_reset: return "nsm_reset";
   }
   return "unknown";
 }

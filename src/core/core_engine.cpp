@@ -1,5 +1,9 @@
 #include "core/core_engine.hpp"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "common/log.hpp"
 #include "core/guest_lib.hpp"
 
@@ -38,7 +42,13 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
     for (const auto& [id, svc] : services_) {
       d += static_cast<double>(svc->stats().nqes_deferred);
     }
+    for (const auto& svc : retired_services_) {
+      d += static_cast<double>(svc->stats().nqes_deferred);
+    }
     for (const auto& [vm, att] : attachments_) {
+      if (att.glib) d += static_cast<double>(att.glib->stats().jobs_deferred);
+    }
+    for (const auto& att : retired_attachments_) {
       if (att.glib) d += static_cast<double>(att.glib->stats().jobs_deferred);
     }
     return d;
@@ -47,6 +57,32 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
     double d = static_cast<double>(stats_.nqes_dropped);
     for (const auto& [id, svc] : services_) {
       d += static_cast<double>(svc->stats().nqes_dropped);
+    }
+    for (const auto& svc : retired_services_) {
+      d += static_cast<double>(svc->stats().nqes_dropped);
+    }
+    return d;
+  });
+  // Fault-domain accounting: nqes discarded because they were stamped by a
+  // retired NSM incarnation (engine side plus every ServiceLib, retired
+  // ones included — the invariant must survive replacement).
+  metrics_.register_gauge_fn("engine_stale_nqes", [this] {
+    double d = static_cast<double>(stats_.stale_nqes);
+    for (const auto& [id, svc] : services_) {
+      d += static_cast<double>(svc->stats().stale_nqes);
+    }
+    for (const auto& svc : retired_services_) {
+      d += static_cast<double>(svc->stats().stale_nqes);
+    }
+    return d;
+  });
+  metrics_.register_gauge_fn("engine_ops_timed_out", [this] {
+    double d = 0.0;
+    for (const auto& [vm, att] : attachments_) {
+      if (att.glib) d += static_cast<double>(att.glib->stats().ops_timed_out);
+    }
+    for (const auto& att : retired_attachments_) {
+      if (att.glib) d += static_cast<double>(att.glib->stats().ops_timed_out);
     }
     return d;
   });
@@ -143,7 +179,8 @@ guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
   });
 
   att.glib = std::make_unique<guest_lib>(vm, *ch, *this, cfg_.costs,
-                                         cfg_.notification, &tracer_);
+                                         cfg_.notification, &tracer_,
+                                         cfg_.guest);
 
   att.vm_to_nsm->start();
   att.nsm_to_vm->start();
@@ -292,6 +329,10 @@ void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
     const auto fd = static_cast<std::uint32_t>(e.token);
     flow_entry fl;
     fl.nsm = att.module->id();
+    fl.udp = e.op == shm::nqe_op::req_udp_open;
+    shm::nqe j = e;
+    j.reserved = 0;  // journal copies are re-traced when replayed
+    fl.journal.push_back(j);
     by_flow_[flow_key{vm, fd}] = std::move(fl);
     ++stats_.mappings_installed;
     deliver_to_nsm(att, e);
@@ -311,12 +352,28 @@ void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
         !e.desc.empty()) {
       (void)att.ch->pool.free(e.desc.chunk);
     }
-    shm::nqe err;
-    err.op = shm::nqe_op::ev_error;
-    err.handle = fd;
-    err.status = -static_cast<std::int32_t>(errc::not_found);
-    forward_to_vm(att, err, true);
+    deliver_error_to_vm(att, fd, errc::not_found);
     return;
+  }
+
+  // Control-plane ops feed the failover journal (fd-addressed originals);
+  // a connect marks the flow as carrying connection state that cannot be
+  // reconstructed on a replacement module.
+  switch (e.op) {
+    case shm::nqe_op::req_bind:
+    case shm::nqe_op::req_listen:
+    case shm::nqe_op::req_setsockopt: {
+      shm::nqe j = e;
+      j.reserved = 0;
+      it->second.journal.push_back(j);
+      if (e.op == shm::nqe_op::req_listen) it->second.listening = true;
+      break;
+    }
+    case shm::nqe_op::req_connect:
+      it->second.connecting = true;
+      break;
+    default:
+      break;
   }
 
   if (!it->second.cid_known) {
@@ -335,7 +392,8 @@ void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
   }
 }
 
-void core_engine::deliver_to_nsm(attachment& att, const shm::nqe& e) {
+void core_engine::deliver_to_nsm(attachment& att, shm::nqe e) {
+  e.epoch = att.epoch;  // jobs carry the incarnation they were meant for
   tracer_.stamp(e.reserved, obs::nqe_stage::engine_copy_fwd);
   // Staged nqes go first (FIFO): never let a new push overtake them.
   if (!att.stage->to_nsm.empty() || !att.ch->nsm_q.job.push(e)) {
@@ -396,6 +454,12 @@ std::size_t core_engine::drain_nsm_queues(attachment& att) {
 
 void core_engine::forward_to_vm(attachment& att, shm::nqe e,
                                 bool receive_queue) {
+  if (e.epoch != att.epoch) {
+    // Output produced by a dead incarnation, drained after the switchover:
+    // its flow state no longer exists. Discard with accounting.
+    discard_stale(att, e);
+    return;
+  }
   ++stats_.nqes_forwarded;
   const virt::vm_id vm = att.vm->id();
   const nsm_id module = att.module->id();
@@ -485,6 +549,289 @@ void core_engine::forward_to_vm(attachment& att, shm::nqe e,
   }
   ++att.ch->nqes_nsm_to_vm;
   if (att.glib) att.glib->notify();
+}
+
+// --- fault domains: detach, replacement, recovery -----------------------------------
+
+void core_engine::discard_stale(attachment& att, const shm::nqe& e) {
+  ++stats_.stale_nqes;
+  tracer_.drop(e.reserved);
+  switch (e.op) {
+    case shm::nqe_op::req_send:
+    case shm::nqe_op::req_udp_send:
+    case shm::nqe_op::req_recv_window:
+    case shm::nqe_op::ev_data:
+    case shm::nqe_op::ev_udp_data:
+      if (!e.desc.empty()) (void)att.ch->pool.free(e.desc.chunk);
+      break;
+    default:
+      break;
+  }
+}
+
+void core_engine::deliver_error_to_vm(attachment& att, std::uint32_t fd,
+                                      errc err) {
+  shm::nqe e;
+  e.op = shm::nqe_op::ev_error;
+  e.handle = fd;
+  e.status = -static_cast<std::int32_t>(err);
+  e.owner = att.module->id();
+  e.epoch = att.epoch;
+  // Straight to the VM-side receive queue: the fd usually has no mapping
+  // left (that is why an error is being synthesized), so the translating
+  // path cannot route it. ev_error is not droppable; a full ring stages it.
+  if (!att.stage->receive.empty() || !att.ch->vm_q.receive.push(e)) {
+    defer_or_drop(att, att.stage->receive, e);
+    return;
+  }
+  ++att.ch->nqes_nsm_to_vm;
+  if (att.glib) att.glib->notify();
+}
+
+void core_engine::detach_vm(virt::vm_id vm) {
+  auto it = attachments_.find(vm);
+  if (it == attachments_.end()) return;
+  attachment& att = it->second;
+  att.vm_to_nsm->stop();
+  att.nsm_to_vm->stop();
+  if (att.glib) att.glib->stop();
+  if (auto* service = service_of(att.module->id())) {
+    service->detach_channel(vm);
+  }
+
+  auto discard = [&](const shm::nqe& e) {
+    ++stats_.nqes_dropped;
+    tracer_.drop(e.reserved);
+    switch (e.op) {
+      case shm::nqe_op::req_send:
+      case shm::nqe_op::req_udp_send:
+      case shm::nqe_op::req_recv_window:
+      case shm::nqe_op::ev_data:
+      case shm::nqe_op::ev_udp_data:
+        if (!e.desc.empty()) (void)att.ch->pool.free(e.desc.chunk);
+        break;
+      default:
+        break;
+    }
+  };
+
+  // Both directions of the mapping table, including ops held for a cid.
+  for (auto fit = by_flow_.begin(); fit != by_flow_.end();) {
+    if (fit->first.vm != vm) {
+      ++fit;
+      continue;
+    }
+    for (const auto& held : fit->second.pending) discard(held);
+    if (fit->second.cid_known) {
+      by_nsm_.erase(nsm_key{fit->second.nsm, fit->second.cid});
+    }
+    fit = by_flow_.erase(fit);
+    ++stats_.mappings_removed;
+  }
+
+  // Every ring and staging list may still reference huge-page chunks.
+  auto scrub_ring = [&](shm::nqe_queue& ring) {
+    shm::nqe e;
+    while (ring.pop(e)) discard(e);
+  };
+  scrub_ring(att.ch->vm_q.job);
+  scrub_ring(att.ch->vm_q.completion);
+  scrub_ring(att.ch->vm_q.receive);
+  scrub_ring(att.ch->nsm_q.job);
+  scrub_ring(att.ch->nsm_q.completion);
+  scrub_ring(att.ch->nsm_q.receive);
+  for (const auto& e : att.stage->to_nsm) discard(e);
+  for (const auto& e : att.stage->completion) discard(e);
+  for (const auto& e : att.stage->receive) discard(e);
+  att.stage->to_nsm.clear();
+  att.stage->completion.clear();
+  att.stage->receive.clear();
+
+  metrics_.unregister_prefix("vm" + std::to_string(vm) + "_");
+  log_info("core_engine: detached vm ", vm, " from nsm ", att.module->id());
+  retired_attachments_.push_back(std::move(att));
+  attachments_.erase(it);
+}
+
+nsm& core_engine::replace_nsm(nsm_id failed_id, const nsm_config& cfg,
+                              replace_mode mode) {
+  const sim_time started = sim_.now();
+  nsm& fresh = create_nsm(cfg);
+  const nsm_id new_id = fresh.id();
+  log_info("core_engine: replacing nsm ", failed_id, " with nsm ", new_id,
+           mode == replace_mode::planned ? " (planned)" : " (unplanned)");
+  if (mode == replace_mode::unplanned) {
+    metrics_.get_counter("nsm_failures").inc();
+    // Crash recovery: the old incarnation is dead as of now; the channels
+    // switch over the moment the replacement finishes booting, so the
+    // per-form startup time is part of the measured recovery time.
+    if (auto* old_service = service_of(failed_id);
+        old_service != nullptr && !old_service->failed()) {
+      old_service->fail();
+    }
+    sim_.schedule_at(std::max(fresh.ready_at(), sim_.now()),
+                     [this, failed_id, new_id, started] {
+                       switch_over(failed_id, new_id, started);
+                     });
+  } else {
+    metrics_.get_counter("nsm_planned_updates").inc();
+    try_planned_switch(failed_id, new_id, started,
+                       sim_.now() + cfg_.planned_drain_timeout);
+  }
+  return fresh;
+}
+
+void core_engine::try_planned_switch(nsm_id old_id, nsm_id new_id,
+                                     sim_time started, sim_time deadline) {
+  nsm* fresh = nsm_by_id(new_id);
+  if (fresh == nullptr) return;
+  service_lib* old_service = service_of(old_id);
+  bool stages_clear = true;
+  for (const auto& [vm, att] : attachments_) {
+    if (att.module != nullptr && att.module->id() == old_id &&
+        !att.stage->to_nsm.empty()) {
+      stages_clear = false;
+      break;
+    }
+  }
+  const bool drained =
+      stages_clear && (old_service == nullptr || old_service->quiescent());
+  const bool booted = sim_.now() >= fresh->ready_at();
+  if (booted && (drained || sim_.now() >= deadline)) {
+    switch_over(old_id, new_id, started);
+    return;
+  }
+  sim_.schedule(microseconds(100), [this, old_id, new_id, started, deadline] {
+    try_planned_switch(old_id, new_id, started, deadline);
+  });
+}
+
+void core_engine::replay_flow(attachment& att, std::uint32_t fd,
+                              flow_entry& fl) {
+  if (fl.cid_known) by_nsm_.erase(nsm_key{fl.nsm, fl.cid});
+  fl.nsm = att.module->id();
+  fl.cid = 0;
+  fl.cid_known = false;  // the replacement assigns a fresh cid (cmp_socket)
+  // Ops still held for the dead incarnation's cid duplicate the journal
+  // (control plane) or are data that died with the module; discard them
+  // with accounting before rebuilding the pending list from the journal.
+  for (const shm::nqe& held : fl.pending) discard_stale(att, held);
+  fl.pending.clear();
+  // Only the socket-creation op can go down now: everything after it is
+  // cid-addressed on the NSM side, and the fresh cid arrives asynchronously
+  // via cmp_socket. Park the rest on the flow's pending list; the
+  // cid-arrival path translates and delivers them in journal order.
+  bool first = true;
+  for (const shm::nqe& entry : fl.journal) {
+    shm::nqe e = entry;
+    e.reserved = 0;
+    if (const std::uint64_t id = tracer_.maybe_begin(
+            e, /*reverse=*/false, att.vm->id(), att.module->id())) {
+      tracer_.stamp(id, obs::nqe_stage::failover_replay);
+    }
+    if (first) {
+      deliver_to_nsm(att, e);
+      first = false;
+    } else {
+      fl.pending.push_back(e);
+    }
+  }
+  (void)fd;
+}
+
+void core_engine::switch_over(nsm_id old_id, nsm_id new_id, sim_time started) {
+  nsm* fresh = nsm_by_id(new_id);
+  service_lib* next = service_of(new_id);
+  if (fresh == nullptr || next == nullptr) return;
+
+  // Make sure the old incarnation really is dead before taking its place
+  // (the planned path reaches here without an explicit fail()).
+  if (auto* old_service = service_of(old_id);
+      old_service != nullptr && !old_service->failed()) {
+    old_service->fail();
+  }
+
+  std::uint64_t recovered = 0;
+  std::uint64_t aborted = 0;
+  for (auto& [vm, att] : attachments_) {
+    if (att.module == nullptr || att.module->id() != old_id) continue;
+
+    // New incarnation: bump the epoch so anything still stamped with the
+    // old one — staged jobs here, queued jobs on the NSM side, undrained
+    // outputs — is discarded with accounting instead of being misapplied.
+    ++att.epoch;
+    for (const auto& e : att.stage->to_nsm) discard_stale(att, e);
+    att.stage->to_nsm.clear();
+    // Purge the job ring too: everything in it was addressed to the dead
+    // incarnation, and replayed control ops must not queue behind a ring
+    // full of doomed work (a slow drain there would delay the recovered
+    // listener by whole seconds).
+    shm::nqe queued;
+    while (att.ch->nsm_q.job.pop(queued)) discard_stale(att, queued);
+    att.module = fresh;
+    att.ch->nsm = new_id;
+    next->attach_channel(
+        *att.ch,
+        [this, id = vm] {
+          if (auto a = attachments_.find(id); a != attachments_.end()) {
+            a->second.nsm_to_vm->notify();
+          }
+        },
+        att.epoch);
+    metrics_.register_gauge_fn(
+        "vm" + std::to_string(vm) + "_nsm_staged_out",
+        [next, id = vm] { return static_cast<double>(next->staged_depth(id)); });
+
+    // Partition this VM's flows: journals reconstruct listeners, datagram
+    // bindings and not-yet-connected sockets on the new module; connection
+    // state (established or in-progress TCP, accepted children) died with
+    // the old stack and is aborted toward the guest.
+    std::vector<std::uint32_t> doomed;
+    for (auto& [key, fl] : by_flow_) {
+      if (key.vm != vm || fl.nsm != old_id) continue;
+      if (!fl.connecting && !fl.journal.empty()) {
+        replay_flow(att, key.fd, fl);
+        ++recovered;
+      } else {
+        doomed.push_back(key.fd);
+      }
+    }
+    for (const std::uint32_t fd : doomed) {
+      auto bit = by_flow_.find(flow_key{vm, fd});
+      if (bit == by_flow_.end()) continue;
+      for (const auto& held : bit->second.pending) discard_stale(att, held);
+      if (bit->second.cid_known) {
+        by_nsm_.erase(nsm_key{old_id, bit->second.cid});
+      }
+      by_flow_.erase(bit);
+      ++stats_.mappings_removed;
+      ++aborted;
+      deliver_error_to_vm(att, fd, errc::nsm_reset);
+    }
+    next->notify();
+  }
+
+  // Retire the dead incarnation. Kept alive — simulator callbacks and the
+  // pipeline-wide accounting gauges still reference it — but its own gauges
+  // go away and the monitor stops sampling it.
+  for (auto nit = nsms_.begin(); nit != nsms_.end(); ++nit) {
+    if ((*nit)->id() == old_id) {
+      retired_nsms_.push_back(std::move(*nit));
+      nsms_.erase(nit);
+      break;
+    }
+  }
+  if (auto sit = services_.find(old_id); sit != services_.end()) {
+    retired_services_.push_back(std::move(sit->second));
+    services_.erase(sit);
+  }
+  metrics_.unregister_prefix("nsm" + std::to_string(old_id) + "_");
+
+  metrics_.get_counter("sockets_recovered").inc(recovered);
+  metrics_.get_counter("sockets_aborted").inc(aborted);
+  metrics_.get_histogram("failover_time_ns").record_time(sim_.now() - started);
+  log_info("core_engine: nsm ", old_id, " -> ", new_id, " switchover done (",
+           recovered, " sockets recovered, ", aborted, " aborted)");
 }
 
 }  // namespace nk::core

@@ -18,8 +18,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.hpp"
+#include "common/units.hpp"
 #include "core/channel.hpp"
 #include "core/costs.hpp"
+#include "core/guest_lib.hpp"
 #include "core/notification.hpp"
 #include "core/nsm.hpp"
 #include "core/service_lib.hpp"
@@ -35,10 +38,14 @@ struct core_engine_config {
   notify_config notification{};  // used for every pump in the system
   channel_config channel{};
   obs::trace_config trace{};  // nqe lifecycle tracing (off by default)
+  guest_lib_config guest{};   // applied to every attached VM's GuestLib
   // Backpressure: staged nqes per direction per VM before the engine stops
   // accepting new work from the upstream ring, and the hard cap beyond
   // which droppable (pure-data) nqes are discarded with accounting.
   std::size_t overflow_limit = 1024;
+  // Planned live update: how long replace_nsm waits for the old module to
+  // quiesce before switching anyway (bounds a module that never drains).
+  sim_time planned_drain_timeout = milliseconds(50);
 };
 
 struct core_engine_stats {
@@ -49,6 +56,7 @@ struct core_engine_stats {
   std::uint64_t unroutable_nqes = 0;
   std::uint64_t nqes_deferred = 0;  // staged on a full ring, delivered later
   std::uint64_t nqes_dropped = 0;   // discarded at the cap (chunks recycled)
+  std::uint64_t stale_nqes = 0;     // discarded: from a retired incarnation
 };
 
 class guest_lib;
@@ -70,6 +78,30 @@ class core_engine {
   // the pumps, and returns the GuestLib endpoint for the VM's applications.
   // Several VMs may attach to the same NSM (multiplexing, §2.1).
   guest_lib& attach_vm(virt::machine& vm, nsm& module);
+
+  // Reverse of attach_vm: stops the pumps, removes both directions of the
+  // mapping table, recycles every chunk still referenced by rings or
+  // staging lists, and unregisters the VM's gauges. The channel and
+  // GuestLib objects are retired, not destroyed — in-flight simulator
+  // callbacks may still hold pointers into them.
+  void detach_vm(virt::vm_id vm);
+
+  // --- fault domains (NSM replacement) ----------------------------------------
+  //
+  // The provider replaces an NSM in place (paper §2.2: the provider owns
+  // the stack, so upgrades and crash recovery never involve the tenant).
+  // A replacement module boots immediately; the switchover happens when it
+  // is ready. Listening and datagram sockets are re-created on the new
+  // module from the engine's control-plane journal; established and
+  // connecting TCP sockets died with the old stack and are aborted toward
+  // the guest with errc::nsm_reset. In-flight nqes stamped with the old
+  // incarnation's epoch are discarded with accounting on both sides.
+  enum class replace_mode {
+    unplanned,  // crash recovery: the old module is failed now
+    planned,    // live update: drain the old module first, then switch
+  };
+  nsm& replace_nsm(nsm_id failed_id, const nsm_config& cfg,
+                   replace_mode mode = replace_mode::unplanned);
 
   [[nodiscard]] nsm* nsm_by_id(nsm_id id);
   [[nodiscard]] service_lib* service_of(nsm_id id);
@@ -127,7 +159,15 @@ class core_engine {
     nsm_id nsm = 0;
     std::uint32_t cid = 0;
     bool cid_known = false;
+    bool listening = false;   // saw req_listen (replayable across failover)
+    bool udp = false;         // datagram flow (replayable across failover)
+    bool connecting = false;  // saw req_connect (dies with the module)
     std::deque<shm::nqe> pending;  // ops queued until the cid arrives
+    // Control-plane journal: the socket's setup ops as the guest submitted
+    // them (fd-addressed, pre-translation). Replaying it into a replacement
+    // NSM reconstructs listeners and datagram bindings; data-plane state is
+    // deliberately not journaled — it dies with the module.
+    std::vector<shm::nqe> journal;
   };
   // Per-direction overflow staging (the backpressure subsystem). Rings are
   // fixed-size shared memory and cannot grow; when a push meets a full ring
@@ -153,13 +193,28 @@ class core_engine {
     std::unique_ptr<queue_pump> nsm_to_vm;  // drains ch->nsm_q.{completion,receive}
     std::unique_ptr<overflow_stage> stage;
     std::uint32_t next_accept_fd = 0x80000000;  // CE-minted fds for accepts
+    std::uint8_t epoch = 0;  // NSM incarnation serving this channel
   };
 
   std::size_t drain_vm_jobs(attachment& att);
   std::size_t drain_nsm_queues(attachment& att);
   void forward_to_nsm(attachment& att, shm::nqe e);
   void forward_to_vm(attachment& att, shm::nqe e, bool receive_queue);
-  void deliver_to_nsm(attachment& att, const shm::nqe& e);
+  void deliver_to_nsm(attachment& att, shm::nqe e);
+
+  // Synthesizes an ev_error toward the guest, bypassing the mapping table
+  // (the fd may have no live mapping — that is usually why it is called).
+  void deliver_error_to_vm(attachment& att, std::uint32_t fd, errc err);
+
+  // Failover internals. switch_over retires the old module, re-points every
+  // attachment at the new one under a bumped epoch, replays journals and
+  // aborts connection state; try_planned_switch polls for quiescence first.
+  void switch_over(nsm_id old_id, nsm_id new_id, sim_time started);
+  void try_planned_switch(nsm_id old_id, nsm_id new_id, sim_time started,
+                          sim_time deadline);
+  void replay_flow(attachment& att, std::uint32_t fd, flow_entry& fl);
+  // Discards an nqe from a dead incarnation: chunk recycled, drop traced.
+  void discard_stale(attachment& att, const shm::nqe& e);
 
   // Overflow plumbing: park an nqe whose push failed (or drop it with full
   // accounting once the stage hits the cap), and re-drain staged nqes.
@@ -182,6 +237,14 @@ class core_engine {
   std::unordered_map<nsm_id, std::unique_ptr<service_lib>> services_;
   std::unordered_map<virt::vm_id, attachment> attachments_;
   nsm_id next_nsm_id_ = 1;
+
+  // Retired objects are kept alive, not destroyed: scheduled simulator
+  // callbacks and metric closures may still dereference them. Their gauges
+  // are unregistered and their stats keep feeding the pipeline-wide
+  // accounting sums, so invariants survive replacement and detach.
+  std::vector<std::unique_ptr<nsm>> retired_nsms_;
+  std::vector<std::unique_ptr<service_lib>> retired_services_;
+  std::vector<attachment> retired_attachments_;
 
   // The connection mapping table (Figure 3).
   std::unordered_map<flow_key, flow_entry, flow_key_hash> by_flow_;

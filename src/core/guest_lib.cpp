@@ -168,6 +168,8 @@ status guest_lib::nk_connect(std::uint32_t fd, net::socket_addr remote) {
     return errc::already_connected;
   }
   gs->ph = phase::connecting;
+  gs->remote = remote;
+  gs->connect_attempts = 1;
 
   shm::nqe e;
   e.op = shm::nqe_op::req_connect;
@@ -175,7 +177,38 @@ status guest_lib::nk_connect(std::uint32_t fd, net::socket_addr remote) {
   e.arg0 = remote.ip.value;
   e.arg1 = remote.port;
   submit(*gs, e, sim_time::zero());
+  arm_connect_deadline(fd);
   return {};
+}
+
+void guest_lib::arm_connect_deadline(std::uint32_t fd) {
+  if (cfg_.connect_timeout <= sim_time::zero()) return;
+  engine_.simulator().schedule(cfg_.connect_timeout,
+                               [this, fd] { connect_deadline_expired(fd); });
+}
+
+void guest_lib::connect_deadline_expired(std::uint32_t fd) {
+  auto* gs = socket_of(fd);
+  // Completed, failed, or closed in the meantime: the deadline is moot.
+  if (gs == nullptr || gs->ph != phase::connecting) return;
+  if (gs->connect_attempts <= cfg_.connect_retries) {
+    // Resubmit: idempotent at ServiceLib against a live module, and the
+    // only way to reach a replacement module after an aborted attempt.
+    ++gs->connect_attempts;
+    ++stats_.ops_retried;
+    shm::nqe e;
+    e.op = shm::nqe_op::req_connect;
+    e.handle = fd;
+    e.arg0 = gs->remote.ip.value;
+    e.arg1 = gs->remote.port;
+    submit(*gs, e, sim_time::zero());
+    arm_connect_deadline(fd);
+    return;
+  }
+  ++stats_.ops_timed_out;
+  gs->ph = phase::failed;
+  gs->err = errc::timed_out;
+  emit_event(fd, stack::socket_event_type::error, gs->err);
 }
 
 result<std::uint32_t> guest_lib::nk_accept(std::uint32_t listener_fd) {

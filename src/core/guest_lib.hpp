@@ -51,6 +51,8 @@ struct guest_lib_stats {
   std::uint64_t events_delivered = 0;
   std::uint64_t jobs_deferred = 0;       // staged on a full VM-side job ring
   std::uint64_t chunks_freed_local = 0;  // recycles short-circuited in-VM
+  std::uint64_t ops_timed_out = 0;       // deadline expired, retries spent
+  std::uint64_t ops_retried = 0;         // deadline expired, op resubmitted
 };
 
 struct guest_lib_config {
@@ -58,6 +60,14 @@ struct guest_lib_config {
   // Jobs staged locally when the VM-side job ring is full before the app
   // starts seeing would_block on sends.
   std::size_t max_deferred_jobs = 256;
+  // Pending-op deadline policy: an async op whose completion never arrives
+  // (its NSM died mid-request) fails with errc::timed_out instead of
+  // stranding the socket forever. Each expiry first resubmits the op up to
+  // `connect_retries` times — ServiceLib treats a duplicate connect as a
+  // no-op, so a retry is safe against a live-but-slow module and reaches a
+  // freshly recovered one. zero() disables the watchdog.
+  sim_time connect_timeout = seconds(5);
+  int connect_retries = 1;
 };
 
 class guest_lib {
@@ -125,6 +135,9 @@ class guest_lib {
   // Doorbell from CoreEngine: completions/events await in the VM queues.
   void notify() { pump_->notify(); }
 
+  // Stops the drain pump (detach_vm teardown); the object stays valid.
+  void stop() { pump_->stop(); }
+
   [[nodiscard]] const guest_lib_stats& stats() const { return stats_; }
   [[nodiscard]] virt::machine& vm() { return vm_; }
 
@@ -163,6 +176,8 @@ class guest_lib {
     errc err = errc::ok;
     sim::cpu_core* core = nullptr;
     bool writable_blocked = false;
+    net::socket_addr remote{};    // connect target (deadline resubmission)
+    int connect_attempts = 0;     // req_connect submissions so far
   };
 
   std::size_t drain();  // pump callback: completion + receive queues
@@ -179,6 +194,10 @@ class guest_lib {
   [[nodiscard]] bool tx_backlogged() const {
     return pending_jobs_.size() >= cfg_.max_deferred_jobs;
   }
+  // Pending-op watchdog: arms a deadline after each req_connect submission;
+  // on expiry the op is resubmitted (bounded) or failed with timed_out.
+  void arm_connect_deadline(std::uint32_t fd);
+  void connect_deadline_expired(std::uint32_t fd);
   void emit_event(std::uint32_t fd, stack::socket_event_type type,
                   errc error = errc::ok);
   [[nodiscard]] g_socket* socket_of(std::uint32_t fd);

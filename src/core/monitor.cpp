@@ -11,6 +11,7 @@ std::string_view to_string(alert_kind k) {
   switch (k) {
     case alert_kind::nsm_overloaded: return "nsm_overloaded";
     case alert_kind::channel_stalled: return "channel_stalled";
+    case alert_kind::nsm_failed: return "nsm_failed";
   }
   return "unknown";
 }
@@ -47,7 +48,16 @@ void health_monitor::tick() {
   ++ticks_;
   for (const auto& module : engine_.nsms()) sample_nsm(*module);
   check_channels();
+  check_failures();
   timer_ = engine_.simulator().schedule(cfg_.interval, [this] { tick(); });
+}
+
+void health_monitor::emit(alert a) {
+  log_warn("health_monitor: ", a);
+  alerts_.push_back(a);
+  for (const auto& handler : handlers_) {
+    if (handler) handler(a);
+  }
 }
 
 void health_monitor::sample_nsm(nsm& module) {
@@ -77,9 +87,7 @@ void health_monitor::sample_nsm(nsm& module) {
       a.module = module.id();
       a.detail = module.name() + " mean core utilization " +
                  std::to_string(s.utilization);
-      log_warn("health_monitor: ", a);
-      alerts_.push_back(a);
-      if (handler_) handler_(a);
+      emit(std::move(a));
       streak = 0;  // re-alert only after another full streak
     }
   } else {
@@ -104,9 +112,7 @@ void health_monitor::check_channels() {
         a.vm = vm;
         a.detail = "channel of vm " + std::to_string(vm) +
                    " has queued nqes but no forward progress";
-        log_warn("health_monitor: ", a);
-        alerts_.push_back(a);
-        if (handler_) handler_(a);
+        emit(std::move(a));
         watch.stalled_streak = 0;
       }
     } else {
@@ -114,6 +120,45 @@ void health_monitor::check_channels() {
     }
     watch.last_forwarded = forwarded;
   }
+}
+
+void health_monitor::check_failures() {
+  // Two passes: a handler (nsm_supervisor) reacts to the alert by creating
+  // a replacement NSM, which mutates the list being walked here.
+  std::vector<alert> dead;
+  for (const auto& module : engine_.nsms()) {
+    const nsm_id id = module->id();
+    if (flagged_dead_.count(id) != 0) continue;
+    service_lib* svc = engine_.service_of(id);
+    if (svc == nullptr) continue;
+    bool crashed = svc->failed();
+    bool unresponsive = false;
+    if (!crashed && cfg_.failure_deadline > sim_time::zero()) {
+      // Silent failure: work is queued toward the module but its drain
+      // loop has stopped beating for longer than the deadline.
+      bool queued = false;
+      for (const virt::vm_id vm : engine_.attached_vms()) {
+        channel* ch = engine_.channel_of(vm);
+        if (ch != nullptr && ch->nsm == id && !ch->nsm_q.job.empty_approx()) {
+          queued = true;
+          break;
+        }
+      }
+      unresponsive =
+          queued && engine_.simulator().now() - svc->last_heartbeat() >
+                        cfg_.failure_deadline;
+    }
+    if (!crashed && !unresponsive) continue;
+    flagged_dead_.insert(id);
+    alert a;
+    a.kind = alert_kind::nsm_failed;
+    a.at = engine_.simulator().now();
+    a.module = id;
+    a.detail = module->name() +
+               (crashed ? " crashed" : " unresponsive: missed heartbeats");
+    dead.push_back(std::move(a));
+  }
+  for (auto& a : dead) emit(std::move(a));
 }
 
 std::string health_monitor::report() const {
@@ -171,7 +216,7 @@ std::string health_monitor::report_json() const {
 autoscaler::autoscaler(core_engine& engine, virt::hypervisor& host,
                        health_monitor& monitor, int max_cores)
     : engine_{engine}, host_{host}, max_cores_{max_cores} {
-  monitor.set_alert_handler([this](const alert& a) {
+  monitor.add_alert_handler([this](const alert& a) {
     if (a.kind != alert_kind::nsm_overloaded) return;
     nsm* module = engine_.nsm_by_id(a.module);
     if (module == nullptr ||
@@ -182,6 +227,20 @@ autoscaler::autoscaler(core_engine& engine, virt::hypervisor& host,
       module->scale_up(core);
       ++scale_ups_;
     }
+  });
+}
+
+nsm_supervisor::nsm_supervisor(core_engine& engine, health_monitor& monitor)
+    : engine_{engine} {
+  monitor.add_alert_handler([this](const alert& a) {
+    if (a.kind != alert_kind::nsm_failed) return;
+    nsm* dead = engine_.nsm_by_id(a.module);
+    if (dead == nullptr) return;  // already retired by an earlier failover
+    nsm_config cfg = dead->config();
+    cfg.name += "-r" + std::to_string(++failovers_);
+    last_replacement_ =
+        engine_.replace_nsm(a.module, cfg, core_engine::replace_mode::unplanned)
+            .id();
   });
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/core_engine.hpp"
@@ -31,7 +32,7 @@ struct nsm_sample {
   std::uint64_t rx_packets = 0;
 };
 
-enum class alert_kind { nsm_overloaded, channel_stalled };
+enum class alert_kind { nsm_overloaded, channel_stalled, nsm_failed };
 
 [[nodiscard]] std::string_view to_string(alert_kind k);
 
@@ -51,6 +52,12 @@ struct monitor_config {
   int overload_consecutive = 3;      // ticks above threshold before alerting
   int stall_consecutive = 3;         // ticks of queued-but-no-progress
   std::size_t history = 256;         // retained samples per NSM
+  // Failure detection (paper §5): an NSM is declared dead when its
+  // ServiceLib reports a crash, or when jobs are queued toward it but its
+  // drain loop has not beaten for this long (a wedged module never sets a
+  // failed flag — the watchdog must catch silence). zero() disables the
+  // heartbeat path; crash flags are always honored.
+  sim_time failure_deadline = milliseconds(50);
 };
 
 class health_monitor {
@@ -65,8 +72,14 @@ class health_monitor {
   void stop();
 
   using alert_handler = std::function<void(const alert&)>;
+  // Replaces every subscribed handler (historical single-consumer API).
   void set_alert_handler(alert_handler handler) {
-    handler_ = std::move(handler);
+    handlers_.clear();
+    handlers_.push_back(std::move(handler));
+  }
+  // Additional subscriber; autoscaler and nsm_supervisor coexist this way.
+  void add_alert_handler(alert_handler handler) {
+    handlers_.push_back(std::move(handler));
   }
 
   [[nodiscard]] const std::deque<nsm_sample>& history_of(nsm_id id) const;
@@ -84,6 +97,8 @@ class health_monitor {
   void tick();
   void sample_nsm(nsm& module);
   void check_channels();
+  void check_failures();
+  void emit(alert a);
 
   core_engine& engine_;
   monitor_config cfg_;
@@ -98,8 +113,9 @@ class health_monitor {
     int stalled_streak = 0;
   };
   std::unordered_map<virt::vm_id, channel_watch> channels_;
+  std::unordered_set<nsm_id> flagged_dead_;  // alert once per incarnation
   std::vector<alert> alerts_;
-  alert_handler handler_;
+  std::vector<alert_handler> handlers_;
 };
 
 // Scale-up policy: when an NSM stays overloaded, grant it another core
@@ -116,6 +132,25 @@ class autoscaler {
   virt::hypervisor& host_;
   int max_cores_;
   int scale_ups_ = 0;
+};
+
+// Failure-recovery policy: when the monitor declares an NSM dead, spawn a
+// replacement with the same configuration (fresh name suffix) and let the
+// CoreEngine switch the dead module's tenants over to it. This closes the
+// loop the paper sketches in §5: provider-side failure detection feeding
+// provider-side recovery, invisible to the tenant except for the reset of
+// connections whose state died with the module.
+class nsm_supervisor {
+ public:
+  nsm_supervisor(core_engine& engine, health_monitor& monitor);
+
+  [[nodiscard]] int failovers() const { return failovers_; }
+  [[nodiscard]] nsm_id last_replacement() const { return last_replacement_; }
+
+ private:
+  core_engine& engine_;
+  int failovers_ = 0;
+  nsm_id last_replacement_ = 0;
 };
 
 }  // namespace nk::core

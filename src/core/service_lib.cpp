@@ -23,34 +23,91 @@ service_lib::service_lib(nsm& owner, sim::simulator& s,
   pump_ = std::make_unique<queue_pump>(s, ncfg, [this] { return drain_jobs(); });
 }
 
-void service_lib::attach_channel(channel& ch, std::function<void()> notify_ce) {
+void service_lib::attach_channel(channel& ch, std::function<void()> notify_ce,
+                                 std::uint8_t epoch) {
   served_vm svm;
   svm.ch = &ch;
   svm.notify_ce = std::move(notify_ce);
+  svm.epoch = epoch;
   vms_[ch.vm_id] = std::move(svm);
+}
+
+void service_lib::drop_staged(served_vm& svm, std::deque<shm::nqe>& staged) {
+  for (const auto& e : staged) {
+    ++stats_.nqes_dropped;
+    if (tracer_ != nullptr) tracer_->drop(e.reserved);
+    if (!e.desc.empty()) (void)svm.ch->pool.free(e.desc.chunk);
+  }
+  staged.clear();
+}
+
+void service_lib::detach_channel(virt::vm_id vm) {
+  auto it = vms_.find(vm);
+  if (it == vms_.end()) return;
+  served_vm& svm = it->second;
+  // Staged out-nqes will never reach the departing VM; recycle their chunks.
+  drop_staged(svm, svm.staged_completion);
+  drop_staged(svm, svm.staged_receive);
+  // Close this VM's sockets on the stack and forget them.
+  std::vector<std::uint32_t> cids;
+  cids.reserve(sockets_.size());
+  for (const auto& [cid, ps] : sockets_) {
+    if (ps.vm == vm) cids.push_back(cid);
+  }
+  for (const std::uint32_t cid : cids) {
+    auto* ps = socket_by_cid(cid);
+    if (ps == nullptr) continue;
+    if (ps->ssock != 0) (void)nsm_.stack().close(ps->ssock);
+    if (tracer_ != nullptr) {
+      for (const auto& tx : ps->pending_send) tracer_->finish(tx.trace);
+    }
+    drop_socket(cid);
+  }
+  vms_.erase(vm);
 }
 
 void service_lib::fail() {
   if (failed_) return;
   failed_ = true;
   log_warn("service_lib: nsm ", nsm_.id(), " (", nsm_.name(),
-           ") failed; aborting tenant sockets");
+           ") crashed; tenant sockets die with the module");
   pump_->stop();
-  // Abort every tenant socket and tell its VM. The stack itself stops
-  // responding (its connections RST on abort; new segments meet a dead
-  // module).
+  // Every stack-side socket dies with the module. No ev_error goes out from
+  // here — a crashed stack cannot report its own death; the provider-side
+  // watchdog and CoreEngine's failover abort path notify the tenants.
   for (auto& [cid, ps] : sockets_) {
     if (ps.ssock != 0) (void)nsm_.stack().abort(ps.ssock);
-    if (auto it = vms_.find(ps.vm); it != vms_.end()) {
-      shm::nqe out;
-      out.op = shm::nqe_op::ev_error;
-      out.handle = cid;
-      out.status = -static_cast<std::int32_t>(errc::connection_reset);
-      push_receive(it->second, out);
+    if (tracer_ != nullptr) {
+      for (const auto& tx : ps.pending_send) tracer_->finish(tx.trace);
     }
+    ps.pending_send.clear();
   }
   sockets_.clear();
   by_ssock_.clear();
+  // Staged completions/events reference huge-page chunks that will now
+  // never be delivered; recycle them or the pool leaks across a failover.
+  for (auto& [vm, svm] : vms_) {
+    drop_staged(svm, svm.staged_completion);
+    drop_staged(svm, svm.staged_receive);
+    svm.stalled_reads.clear();
+  }
+}
+
+bool service_lib::quiescent() const {
+  for (const auto& [vm, svm] : vms_) {
+    if (!svm.staged_completion.empty() || !svm.staged_receive.empty()) {
+      return false;
+    }
+    if (!svm.ch->nsm_q.job.empty_approx() ||
+        !svm.ch->nsm_q.completion.empty_approx() ||
+        !svm.ch->nsm_q.receive.empty_approx()) {
+      return false;
+    }
+  }
+  for (const auto& [cid, ps] : sockets_) {
+    if (!ps.pending_send.empty()) return false;
+  }
+  return true;
 }
 
 void service_lib::start() {
@@ -72,7 +129,21 @@ bool service_lib::push_receive(served_vm& svm, shm::nqe e) {
 }
 
 bool service_lib::push_out(served_vm& svm, shm::nqe e, bool receive) {
+  // A dead module emits nothing: late pushes from already-committed core
+  // work are discarded with their chunks recycled and the drop counted.
+  // The trace still begins so the loss is visible to the tracer — the
+  // accounting invariant (losses == traced drops) must survive a crash.
+  if (failed_) {
+    ++stats_.nqes_dropped;
+    if (tracer_ != nullptr) {
+      tracer_->maybe_begin(e, /*reverse=*/true, svm.ch->vm_id, nsm_.id());
+      tracer_->drop(e.reserved);
+    }
+    if (!e.desc.empty()) (void)svm.ch->pool.free(e.desc.chunk);
+    return false;
+  }
   e.owner = nsm_.id();
+  e.epoch = svm.epoch;
   // A reverse-path trace begins here: the nqe enters the NSM-side out-queue
   // bound for CoreEngine and the tenant VM.
   if (tracer_ != nullptr) {
@@ -177,6 +248,9 @@ std::size_t service_lib::drain_jobs() {
   // bypass work already committed to the core).
   constexpr sim_time backlog_bound = microseconds(3);
   if (failed_) return 0;
+  // Watchdog heartbeat: a live drain loop beats even when idle; a crashed
+  // or frozen module stops, which is what the failure detector watches.
+  last_heartbeat_ = sim_.now();
   std::size_t total = 0;
   bool left_behind = false;
   for (auto& [vm, svm] : vms_) {
@@ -200,6 +274,13 @@ std::size_t service_lib::drain_jobs() {
       }
       if (!svm.ch->nsm_q.job.pop(e)) break;
       ++n;
+      if (e.epoch != svm.epoch) {
+        // Left over from the dead incarnation this module replaced: the
+        // handles inside it refer to connections that died with the old
+        // stack. Discard with accounting instead of misrouting.
+        discard_stale(svm, e);
+        continue;
+      }
       if (tracer_ != nullptr) {
         tracer_->stamp(e.reserved, obs::nqe_stage::nsm_job_dwell);
       }
@@ -231,6 +312,16 @@ std::size_t service_lib::drain_jobs() {
     });
   }
   return total;
+}
+
+void service_lib::discard_stale(served_vm& svm, const shm::nqe& e) {
+  ++stats_.stale_nqes;
+  if (tracer_ != nullptr) tracer_->drop(e.reserved);
+  if ((e.op == shm::nqe_op::req_send || e.op == shm::nqe_op::req_udp_send ||
+       e.op == shm::nqe_op::req_recv_window) &&
+      !e.desc.empty()) {
+    (void)svm.ch->pool.free(e.desc.chunk);
+  }
 }
 
 void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
@@ -329,6 +420,10 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
       out.arg_small = static_cast<std::uint32_t>(e.op);
       if (ps == nullptr) {
         out.status = -static_cast<std::int32_t>(errc::not_found);
+      } else if (ps->ssock != 0) {
+        // Duplicate connect — a GuestLib deadline retry racing the original
+        // attempt. The first tcp_connect is still in flight; acknowledging
+        // without a second connect keeps the retry idempotent.
       } else if (sla_ != nullptr && !sla_->allow_connection(ps->vm)) {
         out.status = -static_cast<std::int32_t>(errc::resource_exhausted);
       } else {

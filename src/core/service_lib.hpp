@@ -36,6 +36,7 @@ struct service_lib_stats {
   std::uint64_t queue_stalls = 0;      // reads stalled on queue backpressure
   std::uint64_t nqes_deferred = 0;     // staged on a full out-ring
   std::uint64_t nqes_dropped = 0;      // discarded at the cap (chunks freed)
+  std::uint64_t stale_nqes = 0;        // jobs from a retired NSM incarnation
   std::uint64_t sla_throttles = 0;
 };
 
@@ -49,8 +50,15 @@ class service_lib {
   service_lib& operator=(const service_lib&) = delete;
 
   // CoreEngine wires one channel per served VM. `notify_ce` is the doorbell
-  // toward CoreEngine's NSM->VM pump.
-  void attach_channel(channel& ch, std::function<void()> notify_ce);
+  // toward CoreEngine's NSM->VM pump. `epoch` is the NSM-incarnation tag of
+  // this attachment: outputs carry it, and jobs stamped with a different
+  // epoch (left over from a dead predecessor) are discarded with accounting.
+  void attach_channel(channel& ch, std::function<void()> notify_ce,
+                      std::uint8_t epoch = 0);
+
+  // Reverse of attach_channel: frees staged chunks, closes the VM's sockets
+  // on the stack, and forgets the channel (detach_vm / teardown path).
+  void detach_channel(virt::vm_id vm);
 
   // Begins polling/serving (installs the stack event handler).
   void start();
@@ -61,12 +69,27 @@ class service_lib {
   // Optional SLA enforcement at the send boundary.
   void set_sla_manager(sla_manager* sla) { sla_ = sla; }
 
-  // Failure injection: the NSM dies. Serving stops, every tenant socket is
-  // aborted and reported via ev_error — what the provider's failure
-  // detection (core/monitor.hpp) and the tenant both observe when a stack
-  // module crashes (§5 "failure detection ... can be deployed readily").
+  // Failure injection: the NSM crashes. Serving stops and every stack-side
+  // socket dies with the module. A crashed stack says no goodbyes — tenants
+  // learn through the provider's failure detection (core/monitor.hpp) and
+  // the CoreEngine failover machinery, not from the dead module. Staged
+  // out-nqes are recycled here (their chunks would otherwise leak).
   void fail();
   [[nodiscard]] bool failed() const { return failed_; }
+
+  // Fault injection: the NSM hangs (pump wedged, failed_ not set). The
+  // watchdog must detect this via missed heartbeats, not the failed flag.
+  void freeze() { pump_->stop(); }
+
+  // Simulated time of the last drain-loop heartbeat. A live module under
+  // polling notification beats every poll interval; a dead or frozen one
+  // stops beating, which is the watchdog's unresponsiveness signal.
+  [[nodiscard]] sim_time last_heartbeat() const { return last_heartbeat_; }
+
+  // True when nothing is in flight on this module: no staged out-nqes, no
+  // queued jobs or undrained outputs in any served channel, no partially
+  // delivered sends. A planned live update waits for this before switching.
+  [[nodiscard]] bool quiescent() const;
 
   [[nodiscard]] const service_lib_stats& stats() const { return stats_; }
   [[nodiscard]] nsm& module() { return nsm_; }
@@ -80,6 +103,7 @@ class service_lib {
   struct served_vm {
     channel* ch = nullptr;
     std::function<void()> notify_ce;
+    std::uint8_t epoch = 0;  // incarnation tag stamped on every output
     std::unordered_set<std::uint32_t> stalled_reads;  // cids awaiting chunks
     // Out-ring overflow staging: flushed, in order, before any new push.
     std::deque<shm::nqe> staged_completion;
@@ -108,6 +132,10 @@ class service_lib {
   // Job-queue drain (the pump's callback).
   std::size_t drain_jobs();
   void handle_nqe(served_vm& svm, const shm::nqe& e);
+  // Discards a job from a retired incarnation: chunk freed, drop traced.
+  void discard_stale(served_vm& svm, const shm::nqe& e);
+  // Recycles the chunks referenced by a staging list and counts the drops.
+  void drop_staged(served_vm& svm, std::deque<shm::nqe>& staged);
 
   // Stack event plumbing.
   void handle_stack_event(const stack::socket_event& ev);
@@ -146,6 +174,7 @@ class service_lib {
 
   bool redrain_pending_ = false;
   bool failed_ = false;
+  sim_time last_heartbeat_{};
   std::unordered_map<virt::vm_id, served_vm> vms_;
   std::unordered_map<std::uint32_t, proto_socket> sockets_;
   std::unordered_map<stack::socket_id, std::uint32_t> by_ssock_;

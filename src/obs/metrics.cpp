@@ -90,6 +90,22 @@ void metrics_registry::register_gauge_fn(std::string_view name,
   gauge_fns_.insert_or_assign(std::string{name}, std::move(fn));
 }
 
+std::size_t metrics_registry::unregister_prefix(std::string_view prefix) {
+  std::size_t removed = 0;
+  auto erase_matching = [&](auto& map) {
+    auto it = map.lower_bound(prefix);
+    while (it != map.end() && it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = map.erase(it);
+      ++removed;
+    }
+  };
+  erase_matching(counters_);
+  erase_matching(gauges_);
+  erase_matching(gauge_fns_);
+  erase_matching(histograms_);
+  return removed;
+}
+
 const counter* metrics_registry::find_counter(std::string_view name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;

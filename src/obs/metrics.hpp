@@ -142,6 +142,13 @@ class metrics_registry {
   // without touching their increment sites.
   void register_gauge_fn(std::string_view name, std::function<double()> fn);
 
+  // Removes every instrument whose name starts with `prefix` and returns
+  // how many were dropped. Needed when the entity behind a family of
+  // metrics is torn down (a detached VM, a retired NSM): callback gauges
+  // capture raw pointers into that entity, so they must not outlive it.
+  // References previously returned for the removed names become invalid.
+  std::size_t unregister_prefix(std::string_view prefix);
+
   [[nodiscard]] const counter* find_counter(std::string_view name) const;
   [[nodiscard]] const gauge* find_gauge(std::string_view name) const;
   [[nodiscard]] const histogram* find_histogram(std::string_view name) const;

@@ -39,8 +39,9 @@ enum class nqe_stage : std::uint8_t {
   nsm_out_dwell,        // NSM-side completion/receive queue dwell
   engine_copy_rev,      // CE pop -> delivered to the VM-side queue
   vm_out_dwell,         // VM-side completion/receive queue dwell
+  failover_replay,      // journal replay into a replacement NSM (failover)
 };
-inline constexpr int nqe_stage_count = 8;
+inline constexpr int nqe_stage_count = 9;
 
 [[nodiscard]] constexpr std::string_view to_string(nqe_stage s) {
   switch (s) {
@@ -52,6 +53,7 @@ inline constexpr int nqe_stage_count = 8;
     case nqe_stage::nsm_out_dwell: return "nsm_out_dwell";
     case nqe_stage::engine_copy_rev: return "engine_copy_rev";
     case nqe_stage::vm_out_dwell: return "vm_out_dwell";
+    case nqe_stage::failover_replay: return "failover_replay";
   }
   return "unknown";
 }

@@ -128,7 +128,14 @@ struct data_descriptor {
 
 struct nqe {
   nqe_op op = nqe_op::invalid;
-  std::uint8_t flags = 0;
+  // NSM-incarnation tag for the channel segment the nqe crosses (fault
+  // domains): CoreEngine stamps it on jobs it delivers to the NSM side and
+  // ServiceLib stamps it on completions/events it emits. After a failover
+  // the attachment's epoch advances, so anything still in flight from the
+  // dead incarnation is recognized and discarded with accounting instead of
+  // being misrouted into the replacement stack. Wraps at 255; only equality
+  // with the current epoch matters.
+  std::uint8_t epoch = 0;
   std::uint16_t owner = 0;   // VM ID on tenant queues, NSM ID on service queues
   std::uint32_t handle = 0;  // fd (VM side) or cID (NSM side)
   std::uint64_t token = 0;   // request/response correlation

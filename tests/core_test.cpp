@@ -536,5 +536,45 @@ TEST(netkernel_backpressure, tiny_rings_lose_no_nqes_or_chunks) {
   }
 }
 
+TEST(core_engine, detach_vm_reclaims_channel_and_metrics) {
+  testbed bed{apps::datacenter_params(77)};
+  nsm_config nsm_cfg;
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "t1";
+  auto t1 = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "t2";
+  auto t2 = bed.attach_netkernel_vm(side::a, vm_cfg, *t1.module);
+  bed.run_for(milliseconds(10));
+
+  // Leave work in flight: an open socket plus a connect that will never
+  // complete. detach_vm must scrub the mapping table and recycle whatever
+  // the rings still hold.
+  const auto fd = t1.glib->nk_socket().value();
+  (void)t1.glib->nk_connect(fd, {bed.next_address(side::b), 7000});
+
+  core_engine& ce = bed.netkernel(side::a);
+  const auto vm1 = t1.vm->id();
+  const std::string prefix = "vm" + std::to_string(vm1) + "_";
+  ASSERT_TRUE(ce.metrics().value_of(prefix + "vmq_job_depth").has_value());
+  auto* ch = ce.channel_of(vm1);
+  ASSERT_NE(ch, nullptr);
+
+  ce.detach_vm(vm1);
+  bed.run_for(milliseconds(10));
+
+  EXPECT_EQ(ce.channel_of(vm1), nullptr);
+  EXPECT_EQ(ce.guestlib_of(vm1), nullptr);
+  EXPECT_FALSE(ce.metrics().value_of(prefix + "vmq_job_depth").has_value());
+  EXPECT_EQ(ce.attached_vms().size(), 1u);
+  // The retired channel's pool got every chunk back.
+  EXPECT_EQ(ch->pool.chunks_free(), ch->pool.chunk_count());
+
+  // The surviving tenant on the same NSM is unaffected.
+  EXPECT_NE(ce.channel_of(t2.vm->id()), nullptr);
+  const auto fd2 = t2.glib->nk_socket().value();
+  bed.run_for(milliseconds(10));
+  EXPECT_TRUE(t2.glib->nk_bind(fd2, 7100).ok());
+}
+
 }  // namespace
 }  // namespace nk::core

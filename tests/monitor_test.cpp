@@ -107,7 +107,7 @@ TEST(health_monitor, stalled_channel_detected) {
   EXPECT_TRUE(stalled);
 }
 
-TEST(failure_detection, dead_nsm_aborts_tenants_and_monitor_flags_channel) {
+TEST(failure_detection, crashed_nsm_is_silent_and_monitor_flags_it) {
   testbed bed{apps::datacenter_params(25)};
   nsm_config nsm_cfg;
   nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
@@ -143,15 +143,24 @@ TEST(failure_detection, dead_nsm_aborts_tenants_and_monitor_flags_channel) {
   health_monitor mon{bed.netkernel(side::a), mcfg};
   mon.start();
 
-  // The client-side NSM dies.
+  // The client-side NSM dies. A crashed stack says no goodbyes: without a
+  // supervisor there is no replacement, so the tenant hears nothing.
   bed.netkernel(side::a).service_of(client.module->id())->fail();
   bed.run_for(milliseconds(50));
+  EXPECT_EQ(tenant_error, errc::ok);
 
-  // Tenant saw the failure...
-  EXPECT_EQ(tenant_error, errc::connection_reset);
+  // The monitor sees the crash flag within one tick.
+  bool flagged = false;
+  for (const auto& a : mon.alerts()) {
+    if (a.kind == alert_kind::nsm_failed && a.module == client.module->id()) {
+      flagged = true;
+      EXPECT_NE(a.detail.find("crashed"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(flagged);
 
-  // ...and once the tenant issues new work, the dead module stops draining
-  // its job queue — the monitor flags the wedged channel.
+  // New work toward the dead module queues without progress — the stall
+  // detector flags the wedged channel too.
   const auto fd2 = gc.nk_socket().value();
   (void)gc.nk_connect(fd2, {server.module->config().address, 7000});
   bed.run_for(milliseconds(200));
@@ -162,6 +171,217 @@ TEST(failure_detection, dead_nsm_aborts_tenants_and_monitor_flags_channel) {
     }
   }
   EXPECT_TRUE(stalled);
+}
+
+TEST(failure_detection, frozen_nsm_detected_within_deadline) {
+  // freeze() wedges the drain loop without setting the failed flag — the
+  // watchdog must catch the silence via missed heartbeats, and must honor
+  // the configured deadline (no alert before it, one soon after).
+  testbed bed{apps::datacenter_params(26)};
+  nsm_config nsm_cfg;
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "t1";
+  auto t1 = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  bed.run_for(milliseconds(10));  // module boots, heartbeat starts
+
+  bed.netkernel(side::a).service_of(t1.module->id())->freeze();
+  const sim_time frozen_at = bed.sim().now();
+  // Queued-but-undrained work is what distinguishes "idle" from "wedged".
+  (void)t1.glib->nk_socket();
+
+  monitor_config mcfg;
+  mcfg.interval = milliseconds(2);
+  mcfg.failure_deadline = milliseconds(20);
+  health_monitor mon{bed.netkernel(side::a), mcfg};
+  mon.start();
+
+  bed.run_for(milliseconds(15));  // inside the deadline: no verdict yet
+  for (const auto& a : mon.alerts()) {
+    EXPECT_NE(a.kind, alert_kind::nsm_failed);
+  }
+
+  bed.run_for(milliseconds(35));
+  const alert* failure = nullptr;
+  for (const auto& a : mon.alerts()) {
+    if (a.kind == alert_kind::nsm_failed && a.module == t1.module->id()) {
+      failure = &a;
+    }
+  }
+  ASSERT_NE(failure, nullptr);
+  EXPECT_NE(failure->detail.find("unresponsive"), std::string::npos);
+  EXPECT_GE(failure->at - frozen_at, mcfg.failure_deadline);
+  EXPECT_LE(failure->at - frozen_at, mcfg.failure_deadline + milliseconds(10));
+}
+
+TEST(failure_detection, supervisor_replaces_nsm_and_listener_resumes) {
+  testbed bed{apps::datacenter_params(27)};
+  nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "client";
+  auto client = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "server";
+  nsm_cfg.name = "nsm-b";
+  nsm_cfg.form = nsm_form::container;  // 60 ms boot keeps the test brisk
+  auto server = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+
+  auto& gs = *server.glib;
+  const auto lfd = gs.nk_socket().value();
+  ASSERT_TRUE(gs.nk_bind(lfd, 7000).ok());
+  ASSERT_TRUE(gs.nk_listen(lfd).ok());
+  int accepts = 0;
+  errc listener_error = errc::ok;
+  errc child_error = errc::ok;
+  gs.set_event_handler([&](std::uint32_t f, stack::socket_event_type t,
+                           errc e) {
+    if (t == stack::socket_event_type::accept_ready && f == lfd) ++accepts;
+    if (t == stack::socket_event_type::error) {
+      (f == lfd ? listener_error : child_error) = e;
+    }
+  });
+
+  auto& gc = *client.glib;
+  const auto fd = gc.nk_socket().value();
+  bool connected = false;
+  gc.set_event_handler([&](std::uint32_t f, stack::socket_event_type t,
+                           errc) {
+    if (f == fd && t == stack::socket_event_type::connected) connected = true;
+  });
+  ASSERT_TRUE(
+      gc.nk_connect(fd, {server.module->config().address, 7000}).ok());
+  bed.run_for(milliseconds(50));
+  ASSERT_TRUE(connected);
+  ASSERT_EQ(accepts, 1);
+
+  core_engine& ce = bed.netkernel(side::b);
+  monitor_config mcfg;
+  mcfg.interval = milliseconds(5);
+  health_monitor mon{ce, mcfg};
+  nsm_supervisor sup{ce, mon};
+  mon.start();
+
+  const nsm_id dead_id = server.module->id();
+  ce.service_of(dead_id)->fail();
+  bed.run_for(milliseconds(200));  // detect + 60 ms boot + switchover
+
+  // The supervisor spawned exactly one replacement and retired the corpse.
+  EXPECT_EQ(sup.failovers(), 1);
+  EXPECT_EQ(ce.service_of(dead_id), nullptr);
+  nsm* fresh = ce.nsm_by_id(sup.last_replacement());
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->config().address, server.module->config().address);
+
+  // Established state died with the module; the listener was replayed.
+  EXPECT_EQ(child_error, errc::nsm_reset);
+  EXPECT_EQ(listener_error, errc::ok);
+  EXPECT_GE(ce.metrics().value_of("sockets_recovered").value_or(0.0), 1.0);
+  EXPECT_GE(ce.metrics().value_of("sockets_aborted").value_or(0.0), 1.0);
+  EXPECT_EQ(ce.metrics().value_of("nsm_failures").value_or(0.0), 1.0);
+  EXPECT_EQ(ce.metrics().get_histogram("failover_time_ns").count(), 1u);
+
+  // The replayed listener accepts brand-new connections on the new module.
+  const auto fd2 = gc.nk_socket().value();
+  bool reconnected = false;
+  gc.set_event_handler([&](std::uint32_t f, stack::socket_event_type t,
+                           errc) {
+    if (f == fd2 && t == stack::socket_event_type::connected) {
+      reconnected = true;
+    }
+  });
+  ASSERT_TRUE(
+      gc.nk_connect(fd2, {server.module->config().address, 7000}).ok());
+  bed.run_for(milliseconds(100));
+  EXPECT_TRUE(reconnected);
+  EXPECT_EQ(accepts, 2);
+}
+
+TEST(failure_detection, connect_times_out_against_dead_nsm) {
+  auto params = apps::datacenter_params(28);
+  params.netkernel.guest.connect_timeout = milliseconds(10);
+  params.netkernel.guest.connect_retries = 1;
+  testbed bed{params};
+  nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "client";
+  auto client = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "server";
+  nsm_cfg.name = "nsm-b";
+  auto server = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+  bed.run_for(milliseconds(10));
+
+  auto& gc = *client.glib;
+  const auto fd = gc.nk_socket().value();
+  bed.run_for(milliseconds(5));  // fd exists before the module dies
+  bed.netkernel(side::a).service_of(client.module->id())->fail();
+
+  errc err = errc::ok;
+  bool connected = false;
+  gc.set_event_handler([&](std::uint32_t f, stack::socket_event_type t,
+                           errc e) {
+    if (f != fd) return;
+    if (t == stack::socket_event_type::connected) connected = true;
+    if (t == stack::socket_event_type::error) err = e;
+  });
+  ASSERT_TRUE(
+      gc.nk_connect(fd, {server.module->config().address, 7000}).ok());
+  bed.run_for(milliseconds(60));
+
+  // Instead of hanging forever the op retried once, then timed out.
+  EXPECT_FALSE(connected);
+  EXPECT_EQ(err, errc::timed_out);
+  EXPECT_EQ(gc.stats().ops_retried, 1u);
+  EXPECT_EQ(gc.stats().ops_timed_out, 1u);
+}
+
+TEST(failure_detection, accounting_invariant_holds_across_failover) {
+  // Mid-stream failover with tracing at sample rate 1.0: every nqe the
+  // pipeline discards — unroutable, overflow-dropped, or stale-epoch — must
+  // be visible to the tracer. Nothing vanishes silently.
+  auto params = apps::datacenter_params(29);
+  params.netkernel.trace.enabled = true;
+  params.netkernel.trace.sample_rate = 1.0;
+  testbed bed{params};
+  nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "tx";
+  auto tx = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "rx";
+  nsm_cfg.name = "nsm-rx";
+  nsm_cfg.form = nsm_form::container;
+  auto rx = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+
+  apps::bulk_sink sink{*rx.api, 5001, false};
+  sink.start();
+  apps::bulk_sender_config scfg;
+  scfg.flows = 2;
+  scfg.bytes_per_flow = 0;
+  scfg.patterned = false;
+  apps::bulk_sender sender{*tx.api, {rx.module->config().address, 5001},
+                           scfg};
+  sender.start();
+  bed.run_for(milliseconds(100));
+
+  core_engine& ce = bed.netkernel(side::b);
+  monitor_config mcfg;
+  mcfg.interval = milliseconds(5);
+  health_monitor mon{ce, mcfg};
+  nsm_supervisor sup{ce, mon};
+  mon.start();
+
+  ce.service_of(rx.module->id())->fail();  // mid-stream, rings full of data
+  bed.run_for(milliseconds(300));
+  ASSERT_EQ(sup.failovers(), 1);
+
+  for (auto* engine : {&bed.netkernel(side::a), &bed.netkernel(side::b)}) {
+    const auto& m = engine->metrics();
+    EXPECT_EQ(m.value_of("nqe_traces_overflow").value_or(0.0), 0.0);
+    const double lost = m.value_of("engine_unroutable_nqes").value_or(0.0) +
+                        m.value_of("engine_nqes_dropped").value_or(0.0) +
+                        m.value_of("engine_stale_nqes").value_or(0.0);
+    EXPECT_EQ(lost, m.value_of("nqe_traces_dropped").value_or(0.0));
+  }
 }
 
 TEST(autoscaler, grants_cores_to_overloaded_nsm) {

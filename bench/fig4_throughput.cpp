@@ -12,6 +12,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "apps/scenario.hpp"
 #include "apps/workloads.hpp"
@@ -82,8 +83,20 @@ double measure_gbps(bool netkernel, int flows, std::uint64_t seed) {
     ce.metrics().get_gauge("fig4_goodput_gbps").set(gbps);
     if (!g_first_snapshot) g_snapshots << ',';
     g_first_snapshot = false;
+    // Diagnosis hook: the provider-wide flow table rides along with the
+    // registry snapshot, so one fig4 run shows the stack state (srtt,
+    // cwnd, buffer occupancy) behind each throughput number.
     g_snapshots << "{\"flows\":" << flows << ",\"seed\":" << seed
-                << ",\"metrics\":" << ce.metrics().to_json() << '}';
+                << ",\"flow_table\":[";
+    bool first_row = true;
+    for (const auto& row : ce.flow_table()) {
+      if (!first_row) g_snapshots << ',';
+      first_row = false;
+      g_snapshots << "{\"vm\":" << row.vm << ",\"fd\":" << row.fd
+                  << ",\"nsm\":" << row.nsm << ",\"cid\":" << row.cid
+                  << ",\"info\":" << row.info.to_json() << '}';
+    }
+    g_snapshots << "],\"metrics\":" << ce.metrics().to_json() << '}';
   }
   return gbps;
 }
@@ -95,14 +108,33 @@ int main() {
       "Figure 4 reproduction: bulk TCP throughput, Cubic, 40 GbE testbed\n"
       "paper: NSM ~= native; line rate (~37 Gb/s) with >= 2 flows\n\n");
   std::printf("%-8s %-18s %-18s\n", "flows", "Linux (CUBIC)", "CUBIC NSM");
+  std::ostringstream bench;
+  bench << '{';
+  bool first_metric = true;
   for (int flows = 1; flows <= 3; ++flows) {
     const double native = measure_gbps(false, flows, 100 + flows);
     const double nsm = measure_gbps(true, flows, 200 + flows);
     std::printf("%-8d %8.2f Gb/s %12.2f Gb/s\n", flows, native, nsm);
+    for (const auto& [label, gbps] :
+         {std::pair<const char*, double>{"native", native},
+          std::pair<const char*, double>{"nsm", nsm}}) {
+      if (!first_metric) bench << ',';
+      first_metric = false;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", gbps);
+      bench << "\"fig4_" << label << '_' << flows
+            << "flows_gbps\":{\"value\":" << buf << ",\"units\":\"Gb/s\"}";
+    }
   }
+  bench << '}';
   std::ofstream out{"fig4_metrics.json"};
   out << "{\"figure\":\"fig4_throughput\",\"runs\":[" << g_snapshots.str()
       << "]}";
-  std::printf("\nper-run registry snapshots: fig4_metrics.json\n");
+  // Repo-root benchmark summary schema: metric name -> {value, units}.
+  std::ofstream summary{"BENCH_fig4.json"};
+  summary << bench.str();
+  std::printf(
+      "\nper-run registry snapshots: fig4_metrics.json\n"
+      "benchmark summary: BENCH_fig4.json\n");
   return 0;
 }

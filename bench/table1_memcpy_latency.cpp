@@ -11,10 +11,13 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -96,6 +99,9 @@ void snapshot_distributions() {
   nk::rng rng{44};
 
   constexpr int iterations = 20000;
+  std::ostringstream bench;
+  bench << '{';
+  bool first_metric = true;
   for (const std::size_t size : {64, 512, 1024, 2048, 4096, 8192}) {
     std::vector<std::byte> src(size, std::byte{0x5a});
     auto& h = reg.get_histogram("memcpy_into_pool_" + std::to_string(size) +
@@ -114,12 +120,27 @@ void snapshot_distributions() {
     }
     std::printf("  %5zu B: p50=%.0f ns  p99=%.0f ns  (n=%d)\n", size,
                 h.p50(), h.p99(), iterations);
+    for (const auto& [suffix, v] :
+         {std::pair<const char*, double>{"p50", h.p50()},
+          std::pair<const char*, double>{"p99", h.p99()}}) {
+      if (!first_metric) bench << ',';
+      first_metric = false;
+      bench << "\"table1_memcpy_" << size << "B_" << suffix
+            << "_ns\":{\"value\":" << static_cast<std::uint64_t>(v)
+            << ",\"units\":\"ns\"}";
+    }
   }
+  bench << '}';
 
   std::ofstream out{"table1_metrics.json"};
   out << "{\"table\":\"table1_memcpy_latency\",\"metrics\":" << reg.to_json()
       << "}";
-  std::printf("  distribution snapshot: table1_metrics.json\n");
+  // Repo-root benchmark summary schema: metric name -> {value, units}.
+  std::ofstream summary{"BENCH_table1.json"};
+  summary << bench.str();
+  std::printf(
+      "  distribution snapshot: table1_metrics.json\n"
+      "  benchmark summary: BENCH_table1.json\n");
 }
 
 }  // namespace

@@ -105,8 +105,25 @@ int main() {
     std::ofstream trace{"quickstart_trace.json"};
     trace << ce.tracer().to_chrome_json();
   }
+  {
+    // Unified diagnosis snapshot: the provider-wide flow table (every
+    // connection as <VM, fd> with live stack state) plus the stage-pair
+    // critical-path breakdown — one document, one run.
+    std::ofstream diag{"quickstart_diagnosis.json"};
+    diag << "{\"flows\":[";
+    bool first = true;
+    for (const auto& row : ce.flow_table()) {
+      if (!first) diag << ',';
+      first = false;
+      diag << "{\"vm\":" << row.vm << ",\"fd\":" << row.fd << ",\"nsm\":"
+           << row.nsm << ",\"cid\":" << row.cid << ",\"info\":"
+           << row.info.to_json() << '}';
+    }
+    diag << "],\"critical_path\":" << ce.tracer().critical_path_json() << '}';
+  }
   std::printf("\nObservability dumps written:\n");
   std::printf("  quickstart_metrics.prom  (Prometheus text format)\n");
+  std::printf("  quickstart_diagnosis.json (flow table + critical path)\n");
   std::printf("  quickstart_trace.json    (open at https://ui.perfetto.dev\n");
   std::printf("                            or chrome://tracing)\n");
   std::printf("  traced nqes: %zu spans across %d pipeline stages\n",

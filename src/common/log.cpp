@@ -1,7 +1,11 @@
 #include "common/log.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 namespace nk {
@@ -23,6 +27,80 @@ log_level& level_ref() {
 log_clock& clock_ref() {
   static log_clock g_clock;
   return g_clock;
+}
+
+// --- warn rate limiter -------------------------------------------------------
+
+struct token_bucket {
+  double tokens = 0.0;
+  std::int64_t last_refill_ns = 0;
+  std::uint64_t suppressed_since_emit = 0;
+};
+
+struct rate_limiter_state {
+  log_rate_limit_config cfg;
+  std::unordered_map<std::string, token_bucket> buckets;
+  std::uint64_t emitted = 0;
+  std::uint64_t suppressed = 0;
+};
+
+rate_limiter_state& limiter_ref() {
+  static rate_limiter_state g_limiter;
+  return g_limiter;
+}
+
+std::int64_t limiter_now_ns() {
+  const log_clock& clk = clock_ref();
+  if (clk) return clk();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Decides whether a warn line may go out. On a pass, appends a
+// "[suppressed N similar]" annotation when lines were swallowed since the
+// key last emitted. Declared before emit(); defined after, so it can share
+// the file-scope statics.
+bool limiter_admit(const std::string& message, std::string& annotation) {
+  rate_limiter_state& st = limiter_ref();
+  if (!st.cfg.enabled || st.cfg.burst <= 0.0 ||
+      st.cfg.refill_interval_ns <= 0) {
+    ++st.emitted;
+    return true;
+  }
+  const std::int64_t now = limiter_now_ns();
+  auto it = st.buckets.find(message);
+  if (it == st.buckets.end()) {
+    if (st.buckets.size() >= st.cfg.max_tracked) {
+      // Table full: stop limiting new texts rather than evicting hot ones.
+      ++st.emitted;
+      return true;
+    }
+    token_bucket b;
+    b.tokens = st.cfg.burst;
+    b.last_refill_ns = now;
+    it = st.buckets.emplace(message, b).first;
+  }
+  token_bucket& b = it->second;
+  if (now > b.last_refill_ns) {
+    const double refill = static_cast<double>(now - b.last_refill_ns) /
+                          static_cast<double>(st.cfg.refill_interval_ns);
+    b.tokens = std::min(st.cfg.burst, b.tokens + refill);
+    b.last_refill_ns = now;
+  }
+  if (b.tokens < 1.0) {
+    ++b.suppressed_since_emit;
+    ++st.suppressed;
+    return false;
+  }
+  b.tokens -= 1.0;
+  ++st.emitted;
+  if (b.suppressed_since_emit > 0) {
+    annotation =
+        " [suppressed " + std::to_string(b.suppressed_since_emit) + " similar]";
+    b.suppressed_since_emit = 0;
+  }
+  return true;
 }
 
 const char* level_name(log_level level) {
@@ -64,15 +142,36 @@ std::optional<log_level> parse_log_level(std::string_view name) {
 
 void set_log_clock(log_clock now_ns) { clock_ref() = std::move(now_ns); }
 
+void set_log_rate_limit(const log_rate_limit_config& cfg) {
+  limiter_ref().cfg = cfg;
+}
+
+log_rate_limit_config current_log_rate_limit() { return limiter_ref().cfg; }
+
+std::uint64_t log_emitted_total() { return limiter_ref().emitted; }
+std::uint64_t log_suppressed_total() { return limiter_ref().suppressed; }
+
+void reset_log_rate_limiter() {
+  rate_limiter_state& st = limiter_ref();
+  st.buckets.clear();
+  st.emitted = 0;
+  st.suppressed = 0;
+}
+
 namespace detail {
 void emit(log_level level, const std::string& message) {
+  // Only warn is rate-limited: errors must never be swallowed, and
+  // below-warn levels are opt-in verbosity the user asked for.
+  std::string annotation;
+  if (level == log_level::warn && !limiter_admit(message, annotation)) return;
   const log_clock& clk = clock_ref();
   if (clk) {
-    std::fprintf(stderr, "[%lld ns] [%s] %s\n",
+    std::fprintf(stderr, "[%lld ns] [%s] %s%s\n",
                  static_cast<long long>(clk()), level_name(level),
-                 message.c_str());
+                 message.c_str(), annotation.c_str());
   } else {
-    std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+    std::fprintf(stderr, "[%s] %s%s\n", level_name(level), message.c_str(),
+                 annotation.c_str());
   }
 }
 }  // namespace detail

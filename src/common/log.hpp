@@ -34,6 +34,30 @@ void set_log_level(log_level level);
 using log_clock = std::function<std::int64_t()>;
 void set_log_clock(log_clock now_ns);
 
+// Token-bucket rate limit for repeated identical warnings: a warning line
+// that keeps firing with the same text (the per-message token bucket is
+// the call-site key — a given warning site produces one text shape)
+// drains its bucket and is then suppressed until the bucket refills, so a
+// hot failure path cannot flood stderr. The first line emitted after a
+// suppression window is annotated with how many lines were swallowed.
+// error and below-warn levels are never limited. Refill time comes from
+// the log clock when one is installed (simulated time), wall clock
+// otherwise.
+struct log_rate_limit_config {
+  bool enabled = true;
+  double burst = 8.0;  // lines a new message may emit back-to-back
+  std::int64_t refill_interval_ns = 1'000'000'000;  // one token per interval
+  std::size_t max_tracked = 1024;  // distinct texts tracked; beyond: unlimited
+};
+void set_log_rate_limit(const log_rate_limit_config& cfg);
+[[nodiscard]] log_rate_limit_config current_log_rate_limit();
+
+// Limiter observability for tests: lifetime counts of warn lines emitted
+// and suppressed, and a full reset (buckets + counters).
+[[nodiscard]] std::uint64_t log_emitted_total();
+[[nodiscard]] std::uint64_t log_suppressed_total();
+void reset_log_rate_limiter();
+
 namespace detail {
 void emit(log_level level, const std::string& message);
 }

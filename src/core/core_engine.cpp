@@ -17,8 +17,10 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
     : host_{host},
       sim_{host.simulator()},
       cfg_{cfg},
+      recorder_{cfg_.flight},
       tracer_{sim_, metrics_, cfg_.trace},
       core_{host.allocate_core()} {
+  tracer_.set_flight_recorder(&recorder_);
   // Engine-level stats surface through the registry as callback gauges:
   // the exporters read them on demand, the hot path keeps its plain
   // counters untouched.
@@ -93,6 +95,34 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
 }
 
 core_engine::~core_engine() = default;
+
+std::vector<core_engine::flow_row> core_engine::flow_table() {
+  std::vector<flow_row> out;
+  for (auto& [id, svc] : services_) {
+    for (auto& rec : svc->flow_table()) {
+      auto it = by_nsm_.find(nsm_key{id, rec.cid});
+      if (it == by_nsm_.end()) continue;  // mapping not installed yet
+      flow_row row;
+      row.vm = it->second.vm;
+      row.fd = it->second.fd;
+      row.nsm = id;
+      row.cid = rec.cid;
+      row.info = std::move(rec.info);
+      out.push_back(std::move(row));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const flow_row& a, const flow_row& b) {
+    return a.vm != b.vm ? a.vm < b.vm : a.fd < b.fd;
+  });
+  return out;
+}
+
+std::optional<std::pair<nsm_id, std::uint32_t>> core_engine::mapping_of(
+    virt::vm_id vm, std::uint32_t fd) const {
+  auto it = by_flow_.find(flow_key{vm, fd});
+  if (it == by_flow_.end() || !it->second.cid_known) return std::nullopt;
+  return std::make_pair(it->second.nsm, it->second.cid);
+}
 
 nsm& core_engine::create_nsm(const nsm_config& cfg) {
   auto module = std::make_unique<nsm>(host_, next_nsm_id_++, cfg);
@@ -660,6 +690,12 @@ nsm& core_engine::replace_nsm(nsm_id failed_id, const nsm_config& cfg,
   const nsm_id new_id = fresh.id();
   log_info("core_engine: replacing nsm ", failed_id, " with nsm ", new_id,
            mode == replace_mode::planned ? " (planned)" : " (unplanned)");
+  recorder_.note(failed_id, 0,
+                 std::string(mode == replace_mode::planned
+                                 ? "replace planned -> nsm "
+                                 : "replace unplanned -> nsm ") +
+                     std::to_string(new_id),
+                 sim_.now());
   if (mode == replace_mode::unplanned) {
     metrics_.get_counter("nsm_failures").inc();
     // Crash recovery: the old incarnation is dead as of now; the channels
@@ -830,6 +866,10 @@ void core_engine::switch_over(nsm_id old_id, nsm_id new_id, sim_time started) {
   metrics_.get_counter("sockets_recovered").inc(recovered);
   metrics_.get_counter("sockets_aborted").inc(aborted);
   metrics_.get_histogram("failover_time_ns").record_time(sim_.now() - started);
+  recorder_.note(old_id, 0,
+                 "switchover done: " + std::to_string(recovered) +
+                     " recovered, " + std::to_string(aborted) + " aborted",
+                 sim_.now());
   log_info("core_engine: nsm ", old_id, " -> ", new_id, " switchover done (",
            recovered, " sockets recovered, ", aborted, " aborted)");
 }

@@ -15,7 +15,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
@@ -27,6 +29,8 @@
 #include "core/nsm.hpp"
 #include "core/service_lib.hpp"
 #include "core/sla.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/flow_info.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "virt/hypervisor.hpp"
@@ -38,6 +42,7 @@ struct core_engine_config {
   notify_config notification{};  // used for every pump in the system
   channel_config channel{};
   obs::trace_config trace{};  // nqe lifecycle tracing (off by default)
+  obs::flight_recorder_config flight{};  // per-NSM failure flight recorder
   guest_lib_config guest{};   // applied to every attached VM's GuestLib
   // Backpressure: staged nqes per direction per VM before the engine stops
   // accepting new work from the upstream ring, and the hard cap beyond
@@ -120,9 +125,36 @@ class core_engine {
   }
   [[nodiscard]] obs::nqe_tracer& tracer() { return tracer_; }
   [[nodiscard]] const obs::nqe_tracer& tracer() const { return tracer_; }
+  [[nodiscard]] obs::flight_recorder& recorder() { return recorder_; }
+  [[nodiscard]] const obs::flight_recorder& recorder() const {
+    return recorder_;
+  }
   [[nodiscard]] const core_engine_stats& stats() const { return stats_; }
   [[nodiscard]] const core_engine_config& config() const { return cfg_; }
   [[nodiscard]] sim::cpu_core* engine_core() { return core_; }
+
+  // --- introspection (paper §5: provider-wide flow visibility) ----------------
+
+  // One row per TCP connection across every live NSM: ServiceLib's per-NSM
+  // flow tables (<NSM, cID>) joined with the connection-mapping table, so
+  // each row is addressed the way the tenant sees it: <VM ID, fd>. Rows
+  // whose cid has no mapping yet (connect still in flight) are skipped.
+  // Sorted by (vm, fd) for deterministic output.
+  struct flow_row {
+    virt::vm_id vm = 0;
+    std::uint32_t fd = 0;
+    nsm_id nsm = 0;
+    std::uint32_t cid = 0;
+    obs::nk_flow_info info;
+  };
+  [[nodiscard]] std::vector<flow_row> flow_table();
+
+  // The connection-mapping table's view of one guest socket: <NSM ID, cID>,
+  // or nullopt when the fd has no mapping (or the cid is not yet known).
+  // Lets tests and the introspection ablation cross-check flow_table()
+  // against the table it joins.
+  [[nodiscard]] std::optional<std::pair<nsm_id, std::uint32_t>> mapping_of(
+      virt::vm_id vm, std::uint32_t fd) const;
 
   // --- used by GuestLib --------------------------------------------------------
 
@@ -230,6 +262,7 @@ class core_engine {
   sim::simulator& sim_;
   core_engine_config cfg_;
   obs::metrics_registry metrics_;
+  obs::flight_recorder recorder_;
   obs::nqe_tracer tracer_;
   sim::cpu_core* core_;
 

@@ -1,5 +1,7 @@
 #include "core/monitor.hpp"
 
+#include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -54,6 +56,10 @@ void health_monitor::tick() {
 
 void health_monitor::emit(alert a) {
   log_warn("health_monitor: ", a);
+  engine_.recorder().note(
+      a.module, static_cast<std::uint16_t>(a.vm),
+      std::string(to_string(a.kind)) + ": " + a.detail,
+      engine_.simulator().now());
   alerts_.push_back(a);
   for (const auto& handler : handlers_) {
     if (handler) handler(a);
@@ -158,6 +164,27 @@ void health_monitor::check_failures() {
                (crashed ? " crashed" : " unresponsive: missed heartbeats");
     dead.push_back(std::move(a));
   }
+  // Snapshot each victim's flight recorder NOW — the emit below runs the
+  // supervisor, which replaces the module and retires its state; the ring's
+  // last events are the evidence of what it saw before dying.
+  for (const auto& a : dead) {
+    std::string snap =
+        engine_.recorder().snapshot_json(a.module, engine_.simulator().now());
+    if (!cfg_.flight_recorder_dir.empty()) {
+      const std::string path = cfg_.flight_recorder_dir +
+                               "/flight_recorder_nsm" +
+                               std::to_string(a.module) + ".json";
+      std::ofstream out(path);
+      if (out) {
+        out << snap;
+        log_info("health_monitor: flight recorder for nsm ", a.module,
+                 " dumped to ", path);
+      } else {
+        log_warn("health_monitor: cannot write flight recorder dump ", path);
+      }
+    }
+    crash_snapshots_[a.module] = std::move(snap);
+  }
   for (auto& a : dead) emit(std::move(a));
 }
 
@@ -200,7 +227,58 @@ std::string health_monitor::report_json() const {
               reg.value_of(p + "_stack_rx_packets").value_or(0.0))
        << ",\"samples\":" << history_of(module->id()).size() << "}";
   }
-  os << "],\"alerts\":[";
+  // Provider-wide flow table: ServiceLib per-NSM tables joined through the
+  // connection-mapping table, so each connection appears under the address
+  // the tenant knows (<VM, fd>) with the stack state only the provider can
+  // see (paper §5: introspection for free once the stack is provider-side).
+  const auto flows = engine_.flow_table();
+  struct agg {
+    std::uint64_t flows = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t srtt_sum_ns = 0;
+  };
+  std::map<std::uint32_t, agg> by_vm;
+  std::map<std::uint32_t, agg> by_nsm;
+  os << "],\"flows\":[";
+  first = true;
+  for (const auto& row : flows) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"vm\":" << row.vm << ",\"fd\":" << row.fd << ",\"nsm\":"
+       << row.nsm << ",\"cid\":" << row.cid << ",\"info\":"
+       << row.info.to_json() << '}';
+    for (agg* a : {&by_vm[row.vm], &by_nsm[row.nsm]}) {
+      ++a->flows;
+      a->bytes_in += row.info.bytes_in;
+      a->bytes_out += row.info.bytes_out;
+      a->retransmits += row.info.retransmits;
+      a->srtt_sum_ns += row.info.srtt_ns;
+    }
+  }
+  os << "],\"flow_aggregates\":{";
+  const auto emit_aggs = [&os](const char* key, const char* id_key,
+                               const std::map<std::uint32_t, agg>& aggs) {
+    os << '"' << key << "\":[";
+    bool f = true;
+    for (const auto& [id, a] : aggs) {
+      if (!f) os << ',';
+      f = false;
+      os << "{\"" << id_key << "\":" << id << ",\"flows\":" << a.flows
+         << ",\"bytes_in\":" << a.bytes_in << ",\"bytes_out\":" << a.bytes_out
+         << ",\"retransmits\":" << a.retransmits << ",\"mean_srtt_ns\":"
+         << (a.flows > 0 ? a.srtt_sum_ns / a.flows : 0) << '}';
+    }
+    os << ']';
+  };
+  emit_aggs("by_vm", "vm", by_vm);
+  os << ',';
+  emit_aggs("by_nsm", "nsm", by_nsm);
+  // Stage-pair latency attribution: where the pipeline's wall-clock went,
+  // per direction, with the dominant hop called out.
+  os << "},\"critical_path\":" << engine_.tracer().critical_path_json();
+  os << ",\"alerts\":[";
   first = true;
   for (const auto& a : alerts_) {
     if (!first) os << ',';

@@ -58,6 +58,11 @@ struct monitor_config {
   // failed flag — the watchdog must catch silence). zero() disables the
   // heartbeat path; crash flags are always honored.
   sim_time failure_deadline = milliseconds(50);
+  // Flight-recorder dump directory: when non-empty, an NSM declared dead
+  // gets its flight-recorder ring written to
+  // <dir>/flight_recorder_nsm<id>.json before the supervisor replaces it.
+  // The in-memory snapshot (crash_snapshots()) is taken regardless.
+  std::string flight_recorder_dir;
 };
 
 class health_monitor {
@@ -90,8 +95,20 @@ class health_monitor {
   [[nodiscard]] std::string report() const;
 
   // Machine-readable status: per-NSM latest sample plus the full alert log,
-  // built from the same registry gauges report() reads.
+  // built from the same registry gauges report() reads. Also carries the
+  // provider-wide flow table (every connection addressed as <VM, fd> with
+  // its nk_flow_info), per-VM / per-NSM flow aggregates, and the tracer's
+  // stage-pair critical-path summary — one document answers "which tenant,
+  // which flow, which hop".
   [[nodiscard]] std::string report_json() const;
+
+  // Flight-recorder snapshots captured by check_failures() at the moment
+  // each NSM was declared dead — before the supervisor replaced it. Keyed
+  // by the dead NSM's id; value is flight_recorder::snapshot_json().
+  [[nodiscard]] const std::unordered_map<nsm_id, std::string>&
+  crash_snapshots() const {
+    return crash_snapshots_;
+  }
 
  private:
   void tick();
@@ -114,6 +131,7 @@ class health_monitor {
   };
   std::unordered_map<virt::vm_id, channel_watch> channels_;
   std::unordered_set<nsm_id> flagged_dead_;  // alert once per incarnation
+  std::unordered_map<nsm_id, std::string> crash_snapshots_;
   std::vector<alert> alerts_;
   std::vector<alert_handler> handlers_;
 };

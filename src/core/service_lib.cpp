@@ -71,6 +71,11 @@ void service_lib::fail() {
   failed_ = true;
   log_warn("service_lib: nsm ", nsm_.id(), " (", nsm_.name(),
            ") crashed; tenant sockets die with the module");
+  if (tracer_ != nullptr) {
+    tracer_->note(nsm_.id(), 0,
+                  "crash: serving stopped, " +
+                      std::to_string(sockets_.size()) + " sockets died");
+  }
   pump_->stop();
   // Every stack-side socket dies with the module. No ev_error goes out from
   // here — a crashed stack cannot report its own death; the provider-side
@@ -91,6 +96,22 @@ void service_lib::fail() {
     drop_staged(svm, svm.staged_receive);
     svm.stalled_reads.clear();
   }
+}
+
+std::vector<service_lib::flow_record> service_lib::flow_table() {
+  std::vector<flow_record> out;
+  out.reserve(sockets_.size());
+  for (const auto& [cid, ps] : sockets_) {
+    if (ps.listener || ps.udp || ps.ssock == 0) continue;
+    auto fi = nsm_.stack().flow_info(ps.ssock);
+    if (!fi.has_value()) continue;
+    out.push_back(flow_record{cid, ps.vm, std::move(*fi)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const flow_record& a, const flow_record& b) {
+              return a.cid < b.cid;
+            });
+  return out;
 }
 
 bool service_lib::quiescent() const {

@@ -16,6 +16,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include <vector>
+
 #include "common/buffer.hpp"
 #include "core/channel.hpp"
 #include "core/costs.hpp"
@@ -98,6 +100,17 @@ class service_lib {
   // nonzero means the NSM-side out-rings filled faster than CoreEngine
   // drained them.
   [[nodiscard]] std::size_t staged_depth(virt::vm_id vm) const;
+
+  // Per-NSM flow table (paper §5 introspection): one telemetry snapshot per
+  // TCP connection this module serves, keyed by <NSM ID, cID>. Listeners,
+  // datagram sockets and not-yet-bound cids are skipped. Sorted by cid for
+  // deterministic output.
+  struct flow_record {
+    std::uint32_t cid = 0;
+    virt::vm_id vm = 0;
+    obs::nk_flow_info info;
+  };
+  [[nodiscard]] std::vector<flow_record> flow_table();
 
  private:
   struct served_vm {

@@ -1,7 +1,9 @@
 #include "obs/metrics.hpp"
 
 #include <cmath>
+#include <set>
 #include <sstream>
+#include <utility>
 
 namespace nk::obs {
 
@@ -16,6 +18,24 @@ std::string prom_name(std::string_view name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_' || c == ':';
     out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// Prometheus HELP escaping: the exposition format allows any text after
+// the metric name but requires backslash and newline to be escaped (a raw
+// newline would terminate the comment mid-help and corrupt the next line).
+std::string prom_escape_help(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
   }
   return out;
 }
@@ -103,7 +123,20 @@ std::size_t metrics_registry::unregister_prefix(std::string_view prefix) {
   erase_matching(gauges_);
   erase_matching(gauge_fns_);
   erase_matching(histograms_);
-  return removed;
+  // Help strings ride along with their instruments but are not themselves
+  // instruments: drop them too, without counting them as removals.
+  const std::size_t instruments = removed;
+  erase_matching(help_);
+  return instruments;
+}
+
+void metrics_registry::set_help(std::string_view name, std::string_view help) {
+  help_.insert_or_assign(std::string{name}, std::string{help});
+}
+
+std::string_view metrics_registry::help_of(std::string_view name) const {
+  auto it = help_.find(name);
+  return it == help_.end() ? std::string_view{} : std::string_view{it->second};
 }
 
 const counter* metrics_registry::find_counter(std::string_view name) const {
@@ -135,20 +168,45 @@ std::optional<double> metrics_registry::value_of(std::string_view name) const {
 
 std::string metrics_registry::to_prom() const {
   std::ostringstream os;
+  // Sanitization and the registry's separate per-kind namespaces can both
+  // produce duplicate exposition names; the format forbids repeating a
+  // TYPE declaration, so later occurrences are renamed with a _dup suffix.
+  std::set<std::string, std::less<>> used;
+  const auto unique_name = [&used](std::string n) {
+    while (!used.insert(n).second) n += "_dup";
+    return n;
+  };
+  const auto emit_help = [this, &os](std::string_view name,
+                                     const std::string& n) {
+    const std::string_view help = help_of(name);
+    if (!help.empty()) {
+      os << "# HELP " << n << ' ' << prom_escape_help(help) << '\n';
+    }
+  };
   for (const auto& [name, c] : counters_) {
-    const std::string n = prom_name(name);
+    const std::string n = unique_name(prom_name(name));
+    emit_help(name, n);
     os << "# TYPE " << n << " counter\n" << n << ' ' << c.value() << '\n';
   }
   for (const auto& [name, g] : gauges_) {
-    const std::string n = prom_name(name);
+    const std::string n = unique_name(prom_name(name));
+    emit_help(name, n);
     os << "# TYPE " << n << " gauge\n" << n << ' ' << num(g.value()) << '\n';
   }
   for (const auto& [name, fn] : gauge_fns_) {
-    const std::string n = prom_name(name);
+    const std::string n = unique_name(prom_name(name));
+    emit_help(name, n);
     os << "# TYPE " << n << " gauge\n" << n << ' ' << num(fn()) << '\n';
   }
   for (const auto& [name, h] : histograms_) {
-    const std::string n = prom_name(name);
+    const std::string n = unique_name(prom_name(name));
+    // Reserve the derived sample names so a later metric cannot collide
+    // with them (best effort: an earlier metric already holding one keeps
+    // its name — the histogram convention wins for this family's samples).
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      used.insert(n + suffix);
+    }
+    emit_help(name, n);
     os << "# TYPE " << n << " histogram\n";
     std::uint64_t cum = 0;
     for (int i = 0; i < histogram::bucket_count; ++i) {
@@ -161,6 +219,14 @@ std::string metrics_registry::to_prom() const {
     os << n << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
     os << n << "_sum " << h.sum() << '\n';
     os << n << "_count " << h.count() << '\n';
+    // Percentile summary gauges, so a scrape answers "how slow" without
+    // the scraper reconstructing quantiles from the sparse buckets.
+    for (const auto& [suffix, v] :
+         {std::pair<const char*, double>{"_p50", h.p50()},
+          std::pair<const char*, double>{"_p99", h.p99()}}) {
+      const std::string pn = unique_name(n + suffix);
+      os << "# TYPE " << pn << " gauge\n" << pn << ' ' << num(v) << '\n';
+    }
   }
   return os.str();
 }

@@ -142,6 +142,13 @@ class metrics_registry {
   // without touching their increment sites.
   void register_gauge_fn(std::string_view name, std::function<double()> fn);
 
+  // Attaches a HELP string to an instrument (by registry name). to_prom()
+  // emits it as a `# HELP` line with backslashes and newlines escaped per
+  // the exposition format; to_json() ignores it. Help for a name that is
+  // never registered is silently unused.
+  void set_help(std::string_view name, std::string_view help);
+  [[nodiscard]] std::string_view help_of(std::string_view name) const;
+
   // Removes every instrument whose name starts with `prefix` and returns
   // how many were dropped. Needed when the entity behind a family of
   // metrics is torn down (a detached VM, a retired NSM): callback gauges
@@ -162,7 +169,13 @@ class metrics_registry {
   }
 
   // Prometheus text exposition format (`# TYPE` + samples; histogram
-  // buckets are cumulative with inclusive `le` upper bounds).
+  // buckets are cumulative with inclusive `le` upper bounds, and each
+  // histogram additionally exports `<name>_p50` / `<name>_p99` gauges).
+  // Names are sanitized into the nk_ namespace; when two registry names
+  // sanitize to the same exposition name — or a counter, gauge, and
+  // histogram share one name across the registry's separate namespaces —
+  // later occurrences get a `_dup` suffix so the output never carries two
+  // TYPE declarations for one name.
   [[nodiscard]] std::string to_prom() const;
 
   // JSON snapshot: {"counters":{},"gauges":{},"histograms":{}}.
@@ -175,6 +188,7 @@ class metrics_registry {
   std::map<std::string, gauge, std::less<>> gauges_;
   std::map<std::string, std::function<double()>, std::less<>> gauge_fns_;
   std::map<std::string, histogram, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
 }  // namespace nk::obs

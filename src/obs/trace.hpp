@@ -24,6 +24,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "shm/nqe.hpp"
 #include "sim/simulator.hpp"
@@ -100,6 +101,15 @@ class nqe_tracer {
   [[nodiscard]] bool enabled() const { return cfg_.enabled; }
   [[nodiscard]] const trace_config& config() const { return cfg_; }
 
+  // Optional failure flight recorder: every begin/stamp/finish/drop (and
+  // explicit note()) is mirrored into the per-NSM ring so a dying module's
+  // last moments survive its replacement. nullptr disables mirroring.
+  void set_flight_recorder(flight_recorder* fr) { recorder_ = fr; }
+
+  // Control-plane annotation forwarded into the flight recorder (crash,
+  // switchover, monitor alert). No-op without a recorder. Not a hot path.
+  void note(std::uint16_t nsm, std::uint16_t vm, std::string_view text);
+
   // Sampling decision at a pipeline entry point. On a hit, assigns a trace
   // id, writes it into e.reserved and records the begin timestamp; returns
   // the id (0 when tracing is off / the nqe was not sampled).
@@ -136,13 +146,29 @@ class nqe_tracer {
   // Includes still-active traces so aborted flows remain visible.
   [[nodiscard]] std::string to_chrome_json() const;
 
+  // Stage-pair latency attribution summary: for each direction, every hop's
+  // share of the total pipeline time with count/mean/p50/p99, plus the
+  // dominant (critical) hop. Built from the nqe_attr_{fwd,rev}_<stage>_ns
+  // histograms that finish() feeds; "{}" when no trace has completed.
+  [[nodiscard]] std::string critical_path_json() const;
+
  private:
+  // Records the per-hop deltas of a completed trace into the per-direction
+  // attribution histograms (lazily registered on first use).
+  void attribute(const nqe_trace& t);
+  [[nodiscard]] histogram* attr_hist(bool reverse, nqe_stage stage);
+  void record_event(const nqe_trace& t, flight_event_kind kind,
+                    nqe_stage stage, sim_time at);
   sim::simulator& sim_;
   metrics_registry& reg_;
   trace_config cfg_;
   std::uint64_t next_id_ = 1;
 
   std::array<histogram*, nqe_stage_count> stage_hist_{};
+  // Attribution histograms, one per (direction, stage) pair, lazily
+  // registered as nqe_attr_{fwd,rev}_<stage>_ns when first fed.
+  std::array<histogram*, 2 * nqe_stage_count> attr_hist_{};
+  flight_recorder* recorder_ = nullptr;
   counter* sampled_ = nullptr;
   counter* overflow_ = nullptr;  // traces not started: active set was full
   counter* dropped_ = nullptr;   // live traces retired via drop()

@@ -295,6 +295,12 @@ tcp::tcb* netstack::tcb_of(socket_id sock) {
   return conn ? conn->tcb.get() : nullptr;
 }
 
+std::optional<obs::nk_flow_info> netstack::flow_info(socket_id sock) {
+  tcp::tcb* t = tcb_of(sock);
+  if (t == nullptr) return std::nullopt;
+  return t->flow_info();
+}
+
 // --- UDP -----------------------------------------------------------------------
 
 result<socket_id> netstack::udp_open(std::uint16_t port) {

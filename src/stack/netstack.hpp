@@ -182,6 +182,10 @@ class netstack {
 
   // The connection state of a TCP socket; nullptr for listeners/UDP/unknown.
   [[nodiscard]] tcp::tcb* tcb_of(socket_id sock);
+
+  // Per-flow telemetry snapshot for a TCP connection socket; nullopt for
+  // listeners, UDP sockets and unknown ids.
+  [[nodiscard]] std::optional<obs::nk_flow_info> flow_info(socket_id sock);
   [[nodiscard]] bool socket_exists(socket_id sock) const {
     return sockets_.contains(sock);
   }

@@ -42,6 +42,13 @@ class compound final : public congestion_controller {
 
   [[nodiscard]] double loss_window_segments() const { return cwnd_seg_; }
   [[nodiscard]] double delay_window_segments() const { return dwnd_seg_; }
+  // 0 while ssthresh is still at its "infinite" initial value.
+  [[nodiscard]] std::uint64_t ssthresh_bytes() const override {
+    return ssthresh_seg_ >= 1e17
+               ? 0
+               : static_cast<std::uint64_t>(ssthresh_seg_ *
+                                            static_cast<double>(cfg_.mss));
+  }
 
  private:
   void per_rtt_update();

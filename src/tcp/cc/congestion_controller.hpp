@@ -74,6 +74,11 @@ class congestion_controller {
   // Current congestion window in bytes (lower-bounded by callers at 1 MSS).
   [[nodiscard]] virtual std::uint64_t cwnd_bytes() const = 0;
 
+  // Slow-start threshold in bytes, for introspection (obs::nk_flow_info).
+  // 0 means "not yet set" (no congestion event so far) or "not applicable"
+  // (BBR has no ssthresh in this model).
+  [[nodiscard]] virtual std::uint64_t ssthresh_bytes() const { return 0; }
+
   // Pacing rate; zero rate means "no pacing, window-limited send".
   [[nodiscard]] virtual data_rate pacing_rate() const { return {}; }
 

@@ -30,6 +30,13 @@ class cubic final : public congestion_controller {
   }
   [[nodiscard]] std::string_view name() const override { return "cubic"; }
   [[nodiscard]] std::string state_summary() const override;
+  // 0 while ssthresh is still at its "infinite" initial value.
+  [[nodiscard]] std::uint64_t ssthresh_bytes() const override {
+    return ssthresh_segments_ >= 1e17
+               ? 0
+               : static_cast<std::uint64_t>(ssthresh_segments_ *
+                                            static_cast<double>(cfg_.mss));
+  }
 
   [[nodiscard]] bool in_slow_start() const {
     return cwnd_segments_ < ssthresh_segments_;

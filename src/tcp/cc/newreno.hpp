@@ -19,7 +19,10 @@ class newreno : public congestion_controller {
   [[nodiscard]] std::string_view name() const override { return "newreno"; }
   [[nodiscard]] std::string state_summary() const override;
 
-  [[nodiscard]] std::uint64_t ssthresh_bytes() const { return ssthresh_; }
+  // Reports 0 while ssthresh is still at its "infinite" initial value.
+  [[nodiscard]] std::uint64_t ssthresh_bytes() const override {
+    return ssthresh_ == ~std::uint64_t{0} ? 0 : ssthresh_;
+  }
   [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
 
  protected:

@@ -580,6 +580,7 @@ void tcb::ack_advanced(std::uint64_t newly_acked, const net::packet& p) {
   sample.in_flight = bytes_in_flight();
   sample.delivered = delivered_;
   sample.delivery_rate = rate_sample;
+  if (rate_sample > 0.0) last_delivery_rate_bps_ = rate_sample * 8.0;
   sample.rate_app_limited = rate_app_limited;
   sample.in_recovery = in_recovery_;
   sample.round_trips = round_count_;
@@ -868,6 +869,31 @@ void tcb::become_closed(errc reason) {
   time_wait_timer_.cancel();
   pacing_timer_.cancel();
   if (env_.on_closed) env_.on_closed(reason);
+}
+
+obs::nk_flow_info tcb::flow_info() const {
+  obs::nk_flow_info fi;
+  fi.state = std::string{to_string(state_)};
+  fi.cc = std::string{cc_->name()};
+  fi.srtt_ns = static_cast<std::uint64_t>(
+      rtt_.srtt().count() < 0 ? 0 : rtt_.srtt().count());
+  fi.rttvar_ns = static_cast<std::uint64_t>(
+      rtt_.rttvar().count() < 0 ? 0 : rtt_.rttvar().count());
+  fi.cwnd_bytes = cc_->cwnd_bytes();
+  fi.ssthresh_bytes = cc_->ssthresh_bytes();
+  fi.bytes_in_flight = bytes_in_flight();
+  fi.retransmits = stats_.fast_retransmits + stats_.rtos;
+  fi.bytes_retransmitted = stats_.bytes_retransmitted;
+  fi.delivery_rate_bps = last_delivery_rate_bps_;
+  fi.bytes_in = stats_.bytes_received;
+  fi.bytes_out = stats_.bytes_sent;
+  fi.segments_in = stats_.segments_received;
+  fi.segments_out = stats_.segments_sent;
+  fi.sndbuf_bytes = sendq_.size();
+  fi.sndbuf_capacity = cfg_.send_buffer;
+  fi.rcvbuf_bytes = recvq_.size();
+  fi.rcvbuf_capacity = cfg_.recv_buffer;
+  return fi;
 }
 
 std::string tcb::describe() const {

@@ -21,6 +21,7 @@
 #include "common/buffer.hpp"
 #include "common/result.hpp"
 #include "net/packet.hpp"
+#include "obs/flow_info.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/cc/congestion_controller.hpp"
 #include "tcp/reassembly.hpp"
@@ -145,6 +146,10 @@ class tcb {
   [[nodiscard]] bool ecn_active() const { return ecn_enabled_; }
   [[nodiscard]] std::string describe() const;
 
+  // Provider-side telemetry snapshot (paper §5 introspection): everything
+  // the operator needs to diagnose this flow, in one plain record.
+  [[nodiscard]] obs::nk_flow_info flow_info() const;
+
  private:
   struct sent_record {
     std::uint64_t start = 0;  // absolute stream offset (SYN=0, data from 1)
@@ -252,6 +257,7 @@ class tcb {
   // Delivery-rate accounting (BBR-style).
   std::uint64_t delivered_ = 0;
   sim_time delivered_time_{};
+  double last_delivery_rate_bps_ = 0.0;  // most recent valid rate sample
   std::uint64_t round_count_ = 0;
   std::uint64_t next_round_delivered_ = 0;
   bool app_limited_ = false;

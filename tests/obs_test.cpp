@@ -3,10 +3,14 @@
 // full NetKernel testbed, and sampling determinism under a fixed seed.
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <set>
 #include <string>
 
 #include "apps/scenario.hpp"
+#include "apps/workloads.hpp"
 #include "core/monitor.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -358,6 +362,304 @@ TEST(health_monitor_json, report_json_reads_registry) {
   // The plain report and the JSON read the same gauges.
   EXPECT_NE(mon.report().find("util="), std::string::npos);
 }
+
+// --- prom export hardening (ISSUE 5) -------------------------------------------
+
+TEST(metrics_registry, prom_help_lines_are_escaped) {
+  metrics_registry reg;
+  reg.get_counter("ops_total").inc(3);
+  reg.set_help("ops_total", "back\\slash\nand newline");
+  EXPECT_EQ(reg.help_of("ops_total"), "back\\slash\nand newline");
+  EXPECT_EQ(reg.help_of("missing"), "");
+
+  const std::string prom = reg.to_prom();
+  // Exposition format: backslash -> \\, newline -> \n, HELP before TYPE.
+  EXPECT_NE(prom.find("# HELP nk_ops_total back\\\\slash\\nand newline\n"),
+            std::string::npos);
+  EXPECT_LT(prom.find("# HELP nk_ops_total"),
+            prom.find("# TYPE nk_ops_total"));
+  // The raw (unescaped) help text must not survive anywhere in the dump:
+  // a literal newline inside a comment would corrupt the next line.
+  EXPECT_EQ(prom.find("back\\slash\nand"), std::string::npos);
+}
+
+TEST(metrics_registry, prom_duplicate_names_are_deduped) {
+  metrics_registry reg;
+  // One name across all three instrument namespaces...
+  reg.get_counter("shared").inc(1);
+  reg.get_gauge("shared").set(2);
+  reg.get_histogram("shared").record(3);
+  // ...and two registry names that sanitize to the same exposition name.
+  reg.get_counter("a.b").inc(1);
+  reg.get_counter("a/b").inc(2);
+
+  const std::string prom = reg.to_prom();
+  const auto occurrences = [&prom](std::string_view needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = 0;
+         (pos = prom.find(needle, pos)) != std::string::npos;
+         pos += needle.size()) {
+      ++n;
+    }
+    return n;
+  };
+  // Counters export first, so the counter keeps the bare name; later
+  // namespaces pick up _dup suffixes.
+  EXPECT_EQ(occurrences("# TYPE nk_shared counter\n"), 1u);
+  EXPECT_EQ(occurrences("# TYPE nk_shared_dup gauge\n"), 1u);
+  EXPECT_EQ(occurrences("# TYPE nk_shared_dup_dup histogram\n"), 1u);
+  EXPECT_EQ(occurrences("# TYPE nk_a_b counter\n"), 1u);
+  EXPECT_EQ(occurrences("# TYPE nk_a_b_dup counter\n"), 1u);
+
+  // Globally: no exposition name is TYPE-declared twice.
+  std::set<std::string> declared;
+  for (std::size_t pos = 0;
+       (pos = prom.find("# TYPE ", pos)) != std::string::npos;) {
+    pos += 7;
+    const std::size_t sp = prom.find(' ', pos);
+    ASSERT_NE(sp, std::string::npos);
+    EXPECT_TRUE(declared.insert(prom.substr(pos, sp - pos)).second)
+        << "duplicate TYPE for " << prom.substr(pos, sp - pos);
+  }
+}
+
+TEST(metrics_registry, prom_histograms_export_percentile_gauges) {
+  metrics_registry reg;
+  histogram& h = reg.get_histogram("lat_ns");
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+
+  const std::string prom = reg.to_prom();
+  EXPECT_NE(prom.find("# TYPE nk_lat_ns_p50 gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE nk_lat_ns_p99 gauge"), std::string::npos);
+  // The gauge values are the histogram's own quantiles.
+  const std::string p50 =
+      "nk_lat_ns_p50 " +
+      std::to_string(static_cast<long long>(h.p50())) + "\n";
+  const std::string p99 =
+      "nk_lat_ns_p99 " +
+      std::to_string(static_cast<long long>(h.p99())) + "\n";
+  EXPECT_NE(prom.find(p50), std::string::npos) << prom;
+  EXPECT_NE(prom.find(p99), std::string::npos) << prom;
+}
+
+TEST(metrics_registry, unregister_prefix_drops_live_histograms) {
+  metrics_registry reg;
+  reg.get_histogram("vm1_latency_ns").record(10);
+  reg.get_histogram("vm1_queue_ns").record(5);
+  reg.get_counter("vm1_ops").inc();
+  reg.register_gauge_fn("vm1_depth", [] { return 1.0; });
+  reg.set_help("vm1_latency_ns", "per-vm latency");
+  histogram& keep = reg.get_histogram("vm2_latency_ns");
+  keep.record(77);
+
+  // Four instruments removed; the help string rides along uncounted.
+  EXPECT_EQ(reg.unregister_prefix("vm1"), 4u);
+  EXPECT_EQ(reg.find_histogram("vm1_latency_ns"), nullptr);
+  EXPECT_EQ(reg.find_histogram("vm1_queue_ns"), nullptr);
+  EXPECT_EQ(reg.find_counter("vm1_ops"), nullptr);
+  EXPECT_FALSE(reg.value_of("vm1_depth").has_value());
+  EXPECT_EQ(reg.help_of("vm1_latency_ns"), "");
+  EXPECT_EQ(reg.unregister_prefix("vm1"), 0u);
+
+  // The survivor's reference stays valid with its data intact (map nodes
+  // never move), and the removed family is gone from the export.
+  EXPECT_EQ(&reg.get_histogram("vm2_latency_ns"), &keep);
+  EXPECT_EQ(keep.count(), 1u);
+  EXPECT_EQ(keep.max(), 77u);
+  EXPECT_EQ(reg.to_prom().find("nk_vm1_"), std::string::npos);
+}
+
+// --- flight recorder (unit level) ----------------------------------------------
+
+TEST(flight_recorder, ring_is_bounded_and_keeps_latest) {
+  flight_recorder_config cfg;
+  cfg.capacity = 8;
+  flight_recorder rec{cfg};
+  for (int i = 0; i < 20; ++i) {
+    rec.note(3, 0, "ev" + std::to_string(i), nanoseconds(i));
+  }
+  EXPECT_EQ(rec.total(3), 20u);
+  const auto evs = rec.events(3);
+  ASSERT_EQ(evs.size(), 8u);
+  // Oldest first, holding exactly the last `capacity` events.
+  EXPECT_STREQ(evs.front().note.data(), "ev12");
+  EXPECT_STREQ(evs.back().note.data(), "ev19");
+  EXPECT_TRUE(rec.events(99).empty());
+
+  const std::string snap = rec.snapshot_json(3, nanoseconds(100));
+  EXPECT_NE(snap.find("\"events_total\":20"), std::string::npos);
+  EXPECT_NE(snap.find("ev19"), std::string::npos);
+  EXPECT_EQ(snap.find("ev11"), std::string::npos);  // overwritten
+}
+
+// --- provider-wide flow table (ISSUE 5 tentpole) -------------------------------
+
+// Two bulk flows over a lossy datacenter link: the provider-side flow table
+// must agree with the connection-mapping table and show *live* stack state
+// (srtt measured, cwnd set, bytes advancing, retransmits visible).
+TEST(flow_table, lossy_link_stats_are_live) {
+  auto params = apps::datacenter_params(21);
+  params.wire.loss_rate = 0.002;
+  testbed bed{params};
+
+  core::nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  nsm_cfg.cc = tcp::cc_algorithm::cubic;
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "sender-vm";
+  nsm_cfg.name = "nsm-a";
+  auto tx = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "sink-vm";
+  nsm_cfg.name = "nsm-b";
+  auto rx = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+
+  apps::bulk_sink sink{*rx.api, 7300, /*validate=*/false};
+  sink.start();
+  apps::bulk_sender_config scfg;
+  scfg.flows = 2;
+  scfg.bytes_per_flow = 0;
+  scfg.patterned = false;
+  apps::bulk_sender sender{*tx.api, {rx.module->config().address, 7300},
+                           scfg};
+  sender.start();
+  bed.run_for(milliseconds(200));
+
+  core::core_engine& ce = bed.netkernel(side::a);
+  const auto first = ce.flow_table();
+  ASSERT_EQ(first.size(), 2u);
+  for (const auto& row : first) {
+    // Every surfaced row joins back through the connection-mapping table.
+    const auto mapped = ce.mapping_of(row.vm, row.fd);
+    ASSERT_TRUE(mapped.has_value());
+    EXPECT_EQ(mapped->first, row.nsm);
+    EXPECT_EQ(mapped->second, row.cid);
+    EXPECT_EQ(row.info.state, "established");
+    EXPECT_GT(row.info.srtt_ns, 0u);
+    EXPECT_GT(row.info.cwnd_bytes, 0u);
+  }
+
+  bed.run_for(milliseconds(150));
+  const auto second = ce.flow_table();
+  ASSERT_EQ(second.size(), 2u);
+  std::uint64_t retransmits = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GT(second[i].info.bytes_out, first[i].info.bytes_out);
+    retransmits += second[i].info.retransmits;
+  }
+  // 0.2% loss over 350 ms of bulk traffic cannot avoid retransmitting.
+  EXPECT_GT(retransmits, 0u);
+
+  // The monitor report embeds the table and the per-VM/per-NSM rollups.
+  core::health_monitor mon{ce, core::monitor_config{}};
+  const std::string report = mon.report_json();
+  EXPECT_NE(report.find("\"flows\":["), std::string::npos);
+  EXPECT_NE(report.find("\"flow_aggregates\""), std::string::npos);
+  EXPECT_NE(report.find("\"by_vm\""), std::string::npos);
+  EXPECT_NE(report.find("\"by_nsm\""), std::string::npos);
+  EXPECT_NE(report.find("\"srtt_ns\""), std::string::npos);
+}
+
+#ifndef NK_NO_TRACING
+
+// --- stage-pair attribution (ISSUE 5 tentpole) ---------------------------------
+
+TEST(nqe_tracing, stage_pair_attribution_in_both_exports) {
+  auto params = apps::datacenter_params(42);
+  params.netkernel.trace.enabled = true;
+  params.netkernel.trace.sample_rate = 1.0;
+  testbed bed{params};
+  ASSERT_EQ(run_echo(bed), 64u * 1024u);
+
+  core::core_engine& ce = bed.netkernel(side::a);
+  const std::string prom = ce.metrics().to_prom();
+  const std::string json = ce.metrics().to_json();
+  // Completed traces fed per-hop histograms in both directions, and both
+  // exporters carry them.
+  EXPECT_NE(prom.find("nk_nqe_attr_fwd_"), std::string::npos);
+  EXPECT_NE(prom.find("nk_nqe_attr_rev_"), std::string::npos);
+  EXPECT_NE(json.find("\"nqe_attr_fwd_"), std::string::npos);
+  EXPECT_NE(json.find("\"nqe_attr_rev_"), std::string::npos);
+
+  // The critical-path summary names a dominant hop per direction.
+  const std::string cp = ce.tracer().critical_path_json();
+  EXPECT_EQ(cp.front(), '{');
+  EXPECT_EQ(cp.back(), '}');
+  EXPECT_NE(cp.find("\"fwd\""), std::string::npos);
+  EXPECT_NE(cp.find("\"rev\""), std::string::npos);
+  EXPECT_NE(cp.find("\"hops\":["), std::string::npos);
+  EXPECT_NE(cp.find("\"p99_ns\""), std::string::npos);
+  EXPECT_NE(cp.find("\"critical\":\""), std::string::npos);
+  EXPECT_EQ(cp.find("\"critical\":\"none\""), std::string::npos);
+
+  // Attribution must not disturb the tracer's accounting invariant.
+  const auto& m = ce.metrics();
+  const double unaccounted =
+      m.value_of("engine_unroutable_nqes").value_or(0.0) +
+      m.value_of("engine_nqes_dropped").value_or(0.0) +
+      m.value_of("engine_stale_nqes").value_or(0.0) -
+      m.value_of("nqe_traces_dropped").value_or(0.0);
+  EXPECT_EQ(unaccounted, 0.0);
+}
+
+// --- flight recorder through the monitor (ISSUE 5 tentpole) --------------------
+
+// Killing an NSM mid-stream must leave its last trace events and the crash
+// note in the monitor's crash snapshot — captured before the supervisor
+// replaces the module.
+TEST(flight_recorder, monitor_snapshots_victim_on_kill) {
+  auto params = apps::datacenter_params(5);
+  params.netkernel.trace.enabled = true;
+  params.netkernel.trace.sample_rate = 1.0;
+  testbed bed{params};
+
+  core::nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  nsm_cfg.cc = tcp::cc_algorithm::cubic;
+  nsm_cfg.form = core::nsm_form::hypervisor_module;  // ~1 ms replacement
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "sender-vm";
+  nsm_cfg.name = "nsm-a";
+  auto tx = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "sink-vm";
+  nsm_cfg.name = "nsm-b";
+  auto rx = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+
+  apps::bulk_sink sink{*rx.api, 7400, /*validate=*/false};
+  sink.start();
+  apps::bulk_sender_config scfg;
+  scfg.flows = 2;
+  scfg.bytes_per_flow = 0;
+  scfg.patterned = false;
+  apps::bulk_sender sender{*tx.api, {rx.module->config().address, 7400},
+                           scfg};
+  sender.start();
+
+  core::core_engine& rx_ce = bed.netkernel(side::b);
+  core::monitor_config mcfg;
+  mcfg.interval = milliseconds(1);
+  mcfg.failure_deadline = milliseconds(20);
+  core::health_monitor mon{rx_ce, mcfg};
+  core::nsm_supervisor sup{rx_ce, mon};
+  mon.start();
+  bed.run_for(milliseconds(50));
+
+  const core::nsm_id victim = rx.module->id();
+  EXPECT_TRUE(mon.crash_snapshots().empty());
+  rx_ce.service_of(victim)->fail();
+  bed.run_for(milliseconds(30));
+
+  const auto& snaps = mon.crash_snapshots();
+  ASSERT_EQ(snaps.count(victim), 1u);
+  const std::string& snap = snaps.at(victim);
+  EXPECT_NE(snap.find("\"kind\":\"trace_"), std::string::npos);  // last traces
+  EXPECT_NE(snap.find("crash"), std::string::npos);  // ServiceLib's note
+  // The ring never exceeds its configured capacity.
+  EXPECT_LE(rx_ce.recorder().events(victim).size(),
+            rx_ce.recorder().capacity());
+  EXPECT_EQ(sup.failovers(), 1);
+}
+
+#endif  // NK_NO_TRACING
 
 }  // namespace
 }  // namespace nk::obs

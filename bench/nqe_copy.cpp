@@ -7,9 +7,13 @@
 // A two-thread variant measures the full cross-core handoff.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "shm/nqe.hpp"
 #include "shm/spsc_ring.hpp"
 
@@ -62,6 +66,56 @@ void nqe_copy_batched(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 
+// Self-timed variants of the two google-benchmark bodies above, run under
+// the wall-clock profiler so the BENCH summary carries CPU ns/op from the
+// same instrument every other bench uses (the profiler subtracts nothing
+// here — one flat scope — so charged time == loop self time).
+double measure_single_ns(std::size_t iters) {
+  spsc_ring<nqe> vm_ring{4096};
+  spsc_ring<nqe> nsm_ring{4096};
+  nqe e;
+  e.op = nk::shm::nqe_op::req_send;
+  e.handle = 7;
+  nk::obs::profiler prof{nullptr};
+  {
+    NK_PROF("nqe_copy", "single");
+    for (std::size_t i = 0; i < iters; ++i) {
+      (void)vm_ring.try_push(e);
+      nqe moved;
+      (void)vm_ring.try_pop(moved);
+      (void)nsm_ring.try_push(moved);
+      nqe sink;
+      (void)nsm_ring.try_pop(sink);
+      benchmark::DoNotOptimize(sink);
+    }
+  }
+  return static_cast<double>(prof.charged_ns()) / static_cast<double>(iters);
+}
+
+double measure_batched_ns(std::size_t iters) {
+  spsc_ring<nqe> vm_ring{4096};
+  spsc_ring<nqe> nsm_ring{4096};
+  constexpr std::size_t batch = 64;
+  std::vector<nqe> buf(batch);
+  nqe e;
+  e.op = nk::shm::nqe_op::req_send;
+  std::vector<nqe> seed(batch, e);
+  nk::obs::profiler prof{nullptr};
+  {
+    NK_PROF("nqe_copy", "batched");
+    for (std::size_t i = 0; i < iters; ++i) {
+      (void)vm_ring.push_batch(std::span{seed});
+      const std::size_t n = vm_ring.pop_batch(std::span{buf});
+      (void)nsm_ring.push_batch(std::span{buf}.first(n));
+      const std::size_t m = nsm_ring.pop_batch(std::span{buf});
+      benchmark::DoNotOptimize(buf.data());
+      (void)m;
+    }
+  }
+  return static_cast<double>(prof.charged_ns()) /
+         static_cast<double>(iters * batch);
+}
+
 }  // namespace
 
 BENCHMARK(nqe_copy_between_rings);
@@ -73,5 +127,26 @@ int main(int argc, char** argv) {
       "CoreEngine)\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  constexpr std::size_t iters = 20'000'000;
+  (void)measure_single_ns(iters / 10);  // warm-up
+  const double single_ns = measure_single_ns(iters);
+  (void)measure_batched_ns(iters / 640);
+  const double batched_ns = measure_batched_ns(iters / 64);
+  std::printf("\nprofiled: single %.2f ns/event, batched %.2f ns/event\n",
+              single_ns, batched_ns);
+
+  // Repo-root benchmark summary schema: metric name -> {value, units}.
+  std::ostringstream bench;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", single_ns);
+  bench << "{\"nqe_copy_single_ns_per_event\":{\"value\":" << buf
+        << ",\"units\":\"ns/op\"}";
+  std::snprintf(buf, sizeof(buf), "%.2f", batched_ns);
+  bench << ",\"nqe_copy_batched_ns_per_event\":{\"value\":" << buf
+        << ",\"units\":\"ns/op\"}}";
+  std::ofstream summary{"BENCH_nqe_copy.json"};
+  summary << bench.str();
+  std::printf("benchmark summary: BENCH_nqe_copy.json\n");
   return 0;
 }

@@ -9,20 +9,28 @@
 //      addressed <VM, fd> with the NSM-side stack state);
 //   2. prints the stage-pair critical-path breakdown — which pipeline hop
 //      the wall-clock actually went to;
-//   3. kills the server NSM and shows the flight-recorder dump the health
-//      monitor captured before the supervisor replaced the module;
-//   4. writes a single unified diagnosis snapshot (nk_inspect.json):
-//      monitor report (flows + aggregates + critical path + alerts) next
-//      to the crash dump.
+//   3. prints the continuous profiler's top-N — which component the CPU
+//      cycles actually went to (the flamegraph's first screen);
+//   4. watches a latency SLO burn: a p99 objective on the VM-side job
+//      dwell fires a multi-window burn-rate alert through the health
+//      monitor, whose alarm-time snapshot embeds the profiler top-N;
+//   5. kills the server NSM and shows the flight-recorder dump the health
+//      monitor captured before the supervisor replaced the module.
+//
+// Machine-readable output goes through the uniform dump hook: run with
+// NK_OBS_DUMP=<dir> and every engine writes metrics (.prom + .json), the
+// time-series history and the Chrome trace at teardown, and the profiler
+// writes its collapsed-stack flamegraph — no per-example plumbing.
 //
 // Build & run:   cmake -B build -G Ninja && cmake --build build
-//                ./build/examples/nk_inspect
+//                NK_OBS_DUMP=inspect_out ./build/examples/nk_inspect
 #include <cstdio>
-#include <fstream>
 
 #include "apps/scenario.hpp"
 #include "apps/workloads.hpp"
 #include "core/monitor.hpp"
+#include "obs/profiler.hpp"
+#include "obs/slo.hpp"
 
 using namespace nk;
 using apps::side;
@@ -50,6 +58,34 @@ int main() {
   nsm_cfg.name = "nsm-rx";
   auto rx = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
 
+  core::core_engine& ce = bed.netkernel(side::a);
+  core::core_engine& rx_ce = bed.netkernel(side::b);
+
+  // The latency objective the operator sells: p99 of the VM-side job-queue
+  // dwell under 500 ns, 1% error budget. The lossy, loaded run violates
+  // it, so the walkthrough shows a live burn, not a green dashboard.
+  obs::timeseries& series = ce.series();
+  const std::string p99 =
+      series.track_percentile("nqe_attr_fwd_vm_job_dwell_ns", 99.0);
+  series.start();
+  obs::slo_engine slo{series};
+  obs::slo_objective obj;
+  obj.name = "vm_dwell_p99";
+  obj.metric = p99;
+  obj.threshold = 500.0;  // ns
+  obj.budget = 0.01;
+  slo.add(obj);
+
+  core::monitor_config mcfg;
+  mcfg.interval = milliseconds(1);
+  mcfg.failure_deadline = milliseconds(20);
+  mcfg.flight_recorder_dir = ".";
+  core::health_monitor mon{rx_ce, mcfg};
+  core::nsm_supervisor sup{rx_ce, mon};
+  mon.set_profiler(&bed.profiler());
+  mon.attach_slo(slo);
+  mon.start();
+
   apps::bulk_sink sink{*rx.api, 9000, /*validate=*/false};
   sink.start();
   apps::bulk_sender_config scfg;
@@ -58,16 +94,6 @@ int main() {
   scfg.patterned = false;
   apps::bulk_sender sender{*tx.api, {rx.module->config().address, 9000}, scfg};
   sender.start();
-
-  core::core_engine& ce = bed.netkernel(side::a);
-  core::monitor_config mcfg;
-  mcfg.interval = milliseconds(1);
-  mcfg.failure_deadline = milliseconds(20);
-  mcfg.flight_recorder_dir = ".";
-  core::core_engine& rx_ce = bed.netkernel(side::b);
-  core::health_monitor mon{rx_ce, mcfg};
-  core::nsm_supervisor sup{rx_ce, mon};
-  mon.start();
 
   bed.run_for(milliseconds(400));
 
@@ -91,7 +117,38 @@ int main() {
   std::printf("\nstage-pair critical path (tx side):\n%s\n",
               ce.tracer().critical_path_json().c_str());
 
-  // --- 3. kill the server NSM; the monitor snapshots its last moments ------
+  // --- 3. where did the cycles go? -----------------------------------------
+  const obs::profiler& prof = bed.profiler();
+  std::printf("\nprofiler top-10 (attribution %.1f%% of %.1f ms charged):\n",
+              prof.attribution_ratio() * 100.0,
+              static_cast<double>(prof.charged_ns()) / 1e6);
+  std::printf("%-10s %-8s  %s\n", "cpu_ms", "share", "stack");
+  for (const auto& n : prof.top(10)) {
+    std::printf("%-10.3f %-8.4f  %s\n", static_cast<double>(n.ns) / 1e6,
+                static_cast<double>(n.ns) /
+                    static_cast<double>(prof.charged_ns()),
+                n.stack.c_str());
+  }
+
+  // --- 4. the SLO dashboard -------------------------------------------------
+  std::printf("\nslo status:\n");
+  for (const auto& st : slo.statuses()) {
+    std::printf(
+        "  %-14s latest=%.0f ns threshold=%.0f ns burn short=%.1fx "
+        "long=%.1fx %s (alerts: %llu)\n",
+        st.objective.name.c_str(), st.latest, st.objective.threshold,
+        st.short_burn, st.long_burn, st.burning ? "BURNING" : "ok",
+        static_cast<unsigned long long>(st.alerts_fired));
+  }
+  if (auto it = mon.slo_snapshots().find(obj.name);
+      it != mon.slo_snapshots().end()) {
+    std::printf(
+        "  alarm-time snapshot captured (%zu bytes: objective, burns,\n"
+        "  profiler top-N, flight-recorder ring) -> slo_vm_dwell_p99.json\n",
+        it->second.size());
+  }
+
+  // --- 5. kill the server NSM; the monitor snapshots its last moments ------
   const core::nsm_id victim = rx.module->id();
   std::printf("\nkilling nsm %u mid-stream...\n",
               static_cast<unsigned>(victim));
@@ -111,19 +168,9 @@ int main() {
     return 1;
   }
 
-  // --- 4. the unified snapshot ----------------------------------------------
-  {
-    std::ofstream out{"nk_inspect.json"};
-    out << "{\"tx\":" << bed.netkernel(side::a).tracer().critical_path_json()
-        << ",\"rx_report\":" << mon.report_json() << '}';
-  }
-  {
-    std::ofstream prom{"nk_inspect_metrics.prom"};
-    prom << ce.metrics().to_prom();
-  }
   std::printf(
-      "\ndiagnosis snapshot: nk_inspect.json (flow table, aggregates,\n"
-      "critical path, alerts) + nk_inspect_metrics.prom + the flight\n"
-      "recorder dump above: one run, one unified picture.\n");
+      "\nfull machine-readable picture: rerun with NK_OBS_DUMP=<dir> to get\n"
+      "per-engine metrics (.prom/.json), the time-series history, Chrome\n"
+      "traces and the profiler flamegraph (.folded) written at teardown.\n");
   return 0;
 }

@@ -12,6 +12,7 @@
 #include "core/core_engine.hpp"
 #include "core/guest_lib.hpp"
 #include "core/nsm.hpp"
+#include "obs/profiler.hpp"
 #include "phys/link.hpp"
 #include "sim/simulator.hpp"
 #include "virt/hypervisor.hpp"
@@ -72,6 +73,10 @@ class testbed {
     return s == side::a ? *ce_a_ : *ce_b_;
   }
   [[nodiscard]] phys::duplex_link& wire() { return *wire_; }
+  // Always-on continuous profiler: installed as the CPU charge listener for
+  // the whole testbed, so every bench/example gets per-core cycle
+  // attribution (and, under NK_OBS_DUMP, a flamegraph dump) for free.
+  [[nodiscard]] obs::profiler& profiler() { return *prof_; }
 
   // Fresh tenant address on that side (10.0.{1,2}.x).
   [[nodiscard]] net::ipv4_addr next_address(side s);
@@ -97,6 +102,10 @@ class testbed {
   phys::duplex_link* wire_ = nullptr;
   std::unique_ptr<core::core_engine> ce_a_;
   std::unique_ptr<core::core_engine> ce_b_;
+  // Declared after the hosts/engines so it is destroyed (and dumps) first,
+  // while its exporters can still be driven by the owner; it never
+  // dereferences core pointers at export time.
+  std::unique_ptr<obs::profiler> prof_;
   std::uint8_t next_host_octet_a_ = 10;
   std::uint8_t next_host_octet_b_ = 10;
 };

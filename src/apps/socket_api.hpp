@@ -53,8 +53,12 @@ class socket_api {
 
  protected:
   void dispatch(app_socket s, app_event type, errc error) {
+    // Invoke a copy: the handler may close its own socket (erasing this
+    // map entry, destroying the std::function mid-call) or register new
+    // handlers (rehashing the table) while we are inside it.
     if (auto it = handlers_.find(s); it != handlers_.end()) {
-      it->second(s, type, error);
+      const socket_handler fn = it->second;
+      fn(s, type, error);
     }
   }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hpp"
+
 namespace nk::core {
 
 bandwidth_arbiter::bandwidth_arbiter(core_engine& engine,
@@ -20,6 +22,7 @@ void bandwidth_arbiter::stop() {
 }
 
 void bandwidth_arbiter::tick() {
+  NK_PROF("arbiter", "tick");
   if (!running_) return;
   ++epochs_;
 

@@ -6,6 +6,8 @@
 
 #include "common/log.hpp"
 #include "core/guest_lib.hpp"
+#include "obs/dump.hpp"
+#include "obs/profiler.hpp"
 
 namespace nk::core {
 
@@ -19,8 +21,18 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
       cfg_{cfg},
       recorder_{cfg_.flight},
       tracer_{sim_, metrics_, cfg_.trace},
+      series_{sim_, metrics_, cfg_.timeseries},
       core_{host.allocate_core()} {
   tracer_.set_flight_recorder(&recorder_);
+  // Default history: the engine-level accounting gauges, so every bench
+  // that turns the ring on gets forwarding/overflow/fault trajectories
+  // without naming them.
+  series_.track("engine_nqes_forwarded");
+  series_.track("engine_nqes_deferred");
+  series_.track("engine_nqes_dropped");
+  series_.track("engine_stale_nqes");
+  series_.track("engine_unroutable_nqes");
+  series_.track("engine_core_utilization");
   // Engine-level stats surface through the registry as callback gauges:
   // the exporters read them on demand, the hot path keeps its plain
   // counters untouched.
@@ -94,7 +106,20 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
   }
 }
 
-core_engine::~core_engine() = default;
+core_engine::~core_engine() {
+  // Uniform NK_OBS_DUMP hook: every binary that builds an engine dumps its
+  // registry, metric history and Chrome trace at teardown — no bespoke
+  // snapshot plumbing per bench. Runs before member destruction, so the
+  // callback gauges still see live attachments/services.
+  if (obs::dump_enabled()) {
+    const std::string tag = obs::dump_tag("engine");
+    series_.snap_now();
+    obs::dump_write(tag + "_metrics.prom", metrics_.to_prom());
+    obs::dump_write(tag + "_metrics.json", metrics_.to_json());
+    obs::dump_write(tag + "_timeseries.json", series_.to_json());
+    obs::dump_write(tag + "_trace.json", tracer_.to_chrome_json());
+  }
+}
 
 std::vector<core_engine::flow_row> core_engine::flow_table() {
   std::vector<flow_row> out;
@@ -320,6 +345,7 @@ std::size_t core_engine::flush_stage_to_vm(attachment& att) {
 // --- VM -> NSM direction ---------------------------------------------------------
 
 std::size_t core_engine::drain_vm_jobs(attachment& att) {
+  NK_PROF("core_engine", "pump_fwd");
   // Overflowed nqes first: they are older than anything still in the ring.
   std::size_t n = flush_stage_to_nsm(att);
   shm::nqe e;
@@ -351,6 +377,7 @@ std::size_t core_engine::drain_vm_jobs(attachment& att) {
 }
 
 void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
+  NK_PROF("core_engine", "fwd_to_nsm");
   ++stats_.nqes_forwarded;
   const virt::vm_id vm = att.vm->id();
 
@@ -436,6 +463,7 @@ void core_engine::deliver_to_nsm(attachment& att, shm::nqe e) {
 // --- NSM -> VM direction -----------------------------------------------------------
 
 std::size_t core_engine::drain_nsm_queues(attachment& att) {
+  NK_PROF("core_engine", "pump_rev");
   // Overflowed completions/events first, then new work — but only while
   // the VM-side stage stays below the limit; beyond it, leave nqes in the
   // NSM rings so ServiceLib sees the pressure and stalls its reads.
@@ -484,6 +512,7 @@ std::size_t core_engine::drain_nsm_queues(attachment& att) {
 
 void core_engine::forward_to_vm(attachment& att, shm::nqe e,
                                 bool receive_queue) {
+  NK_PROF("core_engine", "fwd_to_vm");
   if (e.epoch != att.epoch) {
     // Output produced by a dead incarnation, drained after the switchover:
     // its flow state no longer exists. Discard with accounting.

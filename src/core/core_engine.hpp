@@ -32,6 +32,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/flow_info.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "virt/hypervisor.hpp"
 
@@ -43,6 +44,10 @@ struct core_engine_config {
   channel_config channel{};
   obs::trace_config trace{};  // nqe lifecycle tracing (off by default)
   obs::flight_recorder_config flight{};  // per-NSM failure flight recorder
+  // Metric history ring; engine stats are pre-tracked. autostart is off by
+  // default (a live cadence timer keeps sim::simulator::run() from ever
+  // draining its queue) — run_until-driven benches turn it on.
+  obs::timeseries_config timeseries{};
   guest_lib_config guest{};   // applied to every attached VM's GuestLib
   // Backpressure: staged nqes per direction per VM before the engine stops
   // accepting new work from the upstream ring, and the hard cap beyond
@@ -129,6 +134,8 @@ class core_engine {
   [[nodiscard]] const obs::flight_recorder& recorder() const {
     return recorder_;
   }
+  [[nodiscard]] obs::timeseries& series() { return series_; }
+  [[nodiscard]] const obs::timeseries& series() const { return series_; }
   [[nodiscard]] const core_engine_stats& stats() const { return stats_; }
   [[nodiscard]] const core_engine_config& config() const { return cfg_; }
   [[nodiscard]] sim::cpu_core* engine_core() { return core_; }
@@ -264,6 +271,7 @@ class core_engine {
   obs::metrics_registry metrics_;
   obs::flight_recorder recorder_;
   obs::nqe_tracer tracer_;
+  obs::timeseries series_;
   sim::cpu_core* core_;
 
   std::vector<std::unique_ptr<nsm>> nsms_;

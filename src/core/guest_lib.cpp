@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "core/core_engine.hpp"
+#include "obs/profiler.hpp"
 
 namespace nk::core {
 
@@ -46,6 +47,7 @@ const guest_lib::g_socket* guest_lib::socket_of(std::uint32_t fd) const {
 }
 
 void guest_lib::submit(const g_socket& gs, shm::nqe e, sim_time extra_cost) {
+  NK_PROF("guestlib", "submit");
   ++stats_.ops_issued;
   e.owner = vm_.id();
   const sim_time cost = costs_.guestlib_per_op + extra_cost;
@@ -222,6 +224,7 @@ result<std::uint32_t> guest_lib::nk_accept(std::uint32_t listener_fd) {
 }
 
 result<std::size_t> guest_lib::nk_send(std::uint32_t fd, buffer data) {
+  NK_PROF("guestlib", "send");
   auto* gs = socket_of(fd);
   if (gs == nullptr) return errc::not_found;
   if (gs->ph == phase::failed) return gs->err == errc::ok
@@ -264,6 +267,7 @@ result<std::size_t> guest_lib::nk_send(std::uint32_t fd, buffer data) {
 }
 
 result<buffer> guest_lib::nk_recv(std::uint32_t fd, std::size_t max) {
+  NK_PROF("guestlib", "recv");
   auto* gs = socket_of(fd);
   if (gs == nullptr) return errc::not_found;
   if (gs->rx_bytes == 0) {
@@ -360,6 +364,7 @@ result<std::size_t> guest_lib::nk_udp_send_to(std::uint32_t fd,
 
 result<std::pair<net::socket_addr, buffer>> guest_lib::nk_udp_recv_from(
     std::uint32_t fd) {
+  NK_PROF("guestlib", "udp_recv");
   auto* gs = socket_of(fd);
   if (gs == nullptr) return errc::not_found;
   if (!gs->udp) return errc::invalid_argument;
@@ -517,6 +522,7 @@ void guest_lib::emit_event(std::uint32_t fd, stack::socket_event_type type,
 }
 
 std::size_t guest_lib::drain() {
+  NK_PROF("guestlib", "pump");
   // Re-drive jobs deferred on a full VM-side job ring before consuming new
   // completions; CoreEngine may have drained the ring since the overflow.
   std::size_t n = flush_pending_jobs();
@@ -575,13 +581,15 @@ void guest_lib::handle_nqe(const shm::nqe& e) {
       return;
     }
     case shm::nqe_op::ev_accept: {
-      auto* listener = socket_of(e.handle);
-      if (listener == nullptr) return;
+      if (socket_of(e.handle) == nullptr) return;
       const auto new_fd = static_cast<std::uint32_t>(e.arg0);
       g_socket child;
       child.ph = phase::connected;
       child.core = pick_core();
       sockets_[new_fd] = child;
+      // The insert may rehash the map; look the listener up afterwards.
+      auto* listener = socket_of(e.handle);
+      if (listener == nullptr) return;
       listener->accept_q.push_back(new_fd);
       emit_event(e.handle, stack::socket_event_type::accept_ready);
       return;
@@ -620,6 +628,11 @@ void guest_lib::handle_nqe(const shm::nqe& e) {
       if (!gs->eof) {
         gs->eof = true;
         emit_event(e.handle, stack::socket_event_type::readable);
+        // The readable callback may nk_close() the fd synchronously (an
+        // echo server reading EOF does exactly that), erasing the map
+        // entry out from under us.
+        gs = socket_of(e.handle);
+        if (gs == nullptr) return;
       }
       if (!gs->closed_reported) {
         gs->closed_reported = true;

@@ -14,6 +14,7 @@ std::string_view to_string(alert_kind k) {
     case alert_kind::nsm_overloaded: return "nsm_overloaded";
     case alert_kind::channel_stalled: return "channel_stalled";
     case alert_kind::nsm_failed: return "nsm_failed";
+    case alert_kind::slo_burn: return "slo_burn";
   }
   return "unknown";
 }
@@ -52,6 +53,58 @@ void health_monitor::tick() {
   check_channels();
   check_failures();
   timer_ = engine_.simulator().schedule(cfg_.interval, [this] { tick(); });
+}
+
+void health_monitor::attach_slo(obs::slo_engine& slo) {
+  slo_ = &slo;
+  slo.add_alert_handler(
+      [this](const obs::slo_status& st) { on_slo_burn(st); });
+}
+
+void health_monitor::on_slo_burn(const obs::slo_status& st) {
+  const sim_time now = engine_.simulator().now();
+  // Mark the burn in the engine-level flight-recorder ring, then capture
+  // the alarm document: which objective, how fast it is burning, the
+  // profiler's top-N at this instant, and the ring around the mark. The
+  // snapshot is taken before emit() runs subscribed handlers, so it shows
+  // the system as it was when the alarm tripped, not after a policy
+  // (autoscaler, supervisor) reacted to it.
+  engine_.recorder().note(0, 0, "slo_burn: " + st.objective.name, now);
+  std::ostringstream snap;
+  snap << "{\"objective\":\"" << obs::json_escape(st.objective.name)
+       << "\",\"metric\":\"" << obs::json_escape(st.objective.metric)
+       << "\",\"at_ns\":" << now.count()
+       << ",\"threshold\":" << st.objective.threshold
+       << ",\"budget\":" << st.objective.budget
+       << ",\"short_burn\":" << st.short_burn
+       << ",\"long_burn\":" << st.long_burn << ",\"latest\":";
+  if (st.latest != st.latest) {
+    snap << "null";
+  } else {
+    snap << st.latest;
+  }
+  snap << ",\"profiler_top\":"
+       << (profiler_ != nullptr ? profiler_->top_json(10) : "null")
+       << ",\"flight_recorder\":" << engine_.recorder().snapshot_json(0, now)
+       << '}';
+  slo_snapshots_[st.objective.name] = snap.str();
+  if (!cfg_.flight_recorder_dir.empty()) {
+    const std::string path =
+        cfg_.flight_recorder_dir + "/slo_" + st.objective.name + ".json";
+    std::ofstream out{path, std::ios::trunc};
+    if (out) out << slo_snapshots_[st.objective.name];
+  }
+
+  alert a;
+  a.kind = alert_kind::slo_burn;
+  a.at = now;
+  a.module = 0;
+  std::ostringstream d;
+  d << st.objective.name << " (" << st.objective.metric
+    << "): burn short=" << st.short_burn << "x long=" << st.long_burn
+    << "x of budget " << st.objective.budget;
+  a.detail = d.str();
+  emit(std::move(a));
 }
 
 void health_monitor::emit(alert a) {
@@ -278,6 +331,11 @@ std::string health_monitor::report_json() const {
   // Stage-pair latency attribution: where the pipeline's wall-clock went,
   // per direction, with the dominant hop called out.
   os << "},\"critical_path\":" << engine_.tracer().critical_path_json();
+  // PR 6: cycle accounting and objective status ride in the same document,
+  // so one scrape answers "where did the CPU go and are we in budget".
+  os << ",\"profiler\":"
+     << (profiler_ != nullptr ? profiler_->to_json() : "null");
+  os << ",\"slo\":" << (slo_ != nullptr ? slo_->to_json() : "[]");
   os << ",\"alerts\":[";
   first = true;
   for (const auto& a : alerts_) {

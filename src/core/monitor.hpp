@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "core/core_engine.hpp"
+#include "obs/profiler.hpp"
+#include "obs/slo.hpp"
 
 namespace nk::core {
 
@@ -32,7 +34,7 @@ struct nsm_sample {
   std::uint64_t rx_packets = 0;
 };
 
-enum class alert_kind { nsm_overloaded, channel_stalled, nsm_failed };
+enum class alert_kind { nsm_overloaded, channel_stalled, nsm_failed, slo_burn };
 
 [[nodiscard]] std::string_view to_string(alert_kind k);
 
@@ -102,6 +104,20 @@ class health_monitor {
   // which flow, which hop".
   [[nodiscard]] std::string report_json() const;
 
+  // SLO integration: subscribe to a burn-rate engine so objective burns
+  // flow through the same alert pipeline as overload/stall/failure. Each
+  // burn captures an alarm-time snapshot (objective, burn rates, profiler
+  // top-N, flight-recorder ring) in slo_snapshots(), and — when
+  // flight_recorder_dir is set — writes it to <dir>/slo_<objective>.json.
+  void attach_slo(obs::slo_engine& slo);
+  // Profiler whose top-N is embedded in report_json() and in every SLO
+  // burn snapshot. Not owned; may be nullptr.
+  void set_profiler(const obs::profiler* prof) { profiler_ = prof; }
+  [[nodiscard]] const std::unordered_map<std::string, std::string>&
+  slo_snapshots() const {
+    return slo_snapshots_;
+  }
+
   // Flight-recorder snapshots captured by check_failures() at the moment
   // each NSM was declared dead — before the supervisor replaced it. Keyed
   // by the dead NSM's id; value is flight_recorder::snapshot_json().
@@ -115,6 +131,7 @@ class health_monitor {
   void sample_nsm(nsm& module);
   void check_channels();
   void check_failures();
+  void on_slo_burn(const obs::slo_status& st);
   void emit(alert a);
 
   core_engine& engine_;
@@ -134,6 +151,9 @@ class health_monitor {
   std::unordered_map<nsm_id, std::string> crash_snapshots_;
   std::vector<alert> alerts_;
   std::vector<alert_handler> handlers_;
+  const obs::slo_engine* slo_ = nullptr;
+  const obs::profiler* profiler_ = nullptr;
+  std::unordered_map<std::string, std::string> slo_snapshots_;
 };
 
 // Scale-up policy: when an NSM stays overloaded, grant it another core

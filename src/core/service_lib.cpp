@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "obs/profiler.hpp"
 
 namespace nk::core {
 
@@ -261,6 +262,7 @@ void service_lib::drop_socket(std::uint32_t cid) {
 // --- job-queue drain -----------------------------------------------------------
 
 std::size_t service_lib::drain_jobs() {
+  NK_PROF("servicelib", "pump");
   // A real polling loop pops one operation, executes it, then pops the
   // next: work waits in the *ring*, not in some infinite CPU backlog. Model
   // that by stopping the drain once the core has a small amount of
@@ -346,6 +348,7 @@ void service_lib::discard_stale(served_vm& svm, const shm::nqe& e) {
 }
 
 void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
+  NK_PROF("servicelib", "dispatch");
   ++stats_.ops_processed;
   auto& stack = nsm_.stack();
 
@@ -587,6 +590,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
 // --- stack events -----------------------------------------------------------------
 
 void service_lib::handle_stack_event(const stack::socket_event& ev) {
+  NK_PROF("servicelib", "stack_event");
   if (failed_) return;
   auto* ps = socket_by_ssock(ev.sock);
   if (ps == nullptr) return;
@@ -654,6 +658,7 @@ void service_lib::handle_stack_event(const stack::socket_event& ev) {
 }
 
 void service_lib::pump_reads(proto_socket& ps) {
+  NK_PROF("servicelib", "pump_reads");
   if (ps.ssock == 0) return;
   auto& svm = vms_[ps.vm];
   auto& stack = nsm_.stack();
@@ -725,6 +730,7 @@ void service_lib::pump_reads(proto_socket& ps) {
 }
 
 void service_lib::pump_udp_reads(proto_socket& ps) {
+  NK_PROF("servicelib", "pump_udp_reads");
   if (ps.ssock == 0) return;
   auto& svm = vms_[ps.vm];
   auto& stack = nsm_.stack();
@@ -777,6 +783,7 @@ void service_lib::pump_udp_reads(proto_socket& ps) {
 }
 
 void service_lib::try_deliver_sends(proto_socket& ps) {
+  NK_PROF("servicelib", "deliver_sends");
   if (ps.ssock == 0) return;
   auto& svm = vms_[ps.vm];
   auto& stack = nsm_.stack();

@@ -1,0 +1,54 @@
+#include "obs/dump.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "common/log.hpp"
+
+namespace nk::obs {
+
+namespace {
+
+const std::string& dir_from_env() {
+  static const std::string dir = [] {
+    const char* v = std::getenv("NK_OBS_DUMP");
+    return std::string{v != nullptr ? v : ""};
+  }();
+  return dir;
+}
+
+}  // namespace
+
+bool dump_enabled() { return !dir_from_env().empty(); }
+
+const std::string& dump_dir() { return dir_from_env(); }
+
+std::string dump_tag(std::string_view prefix) {
+  static std::map<std::string, int, std::less<>> counters;
+  auto it = counters.find(prefix);
+  if (it == counters.end()) it = counters.emplace(std::string{prefix}, 0).first;
+  return std::string{prefix} + std::to_string(++it->second);
+}
+
+bool dump_write(std::string_view name, std::string_view contents) {
+  if (!dump_enabled()) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(dump_dir(), ec);
+  if (ec) {
+    log_warn("NK_OBS_DUMP: cannot create ", dump_dir(), ": ", ec.message());
+    return false;
+  }
+  const std::filesystem::path path =
+      std::filesystem::path{dump_dir()} / std::string{name};
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) {
+    log_warn("NK_OBS_DUMP: cannot open ", path.string());
+    return false;
+  }
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  return out.good();
+}
+
+}  // namespace nk::obs

@@ -1,0 +1,30 @@
+// Uniform observability dump hook.
+//
+// When NK_OBS_DUMP=<dir> is set in the environment (read once at first use,
+// common/log.cpp-style), every bench and example dumps its registry
+// prom+JSON, time-series, Chrome trace, and profiler output into <dir> at
+// teardown — no bespoke snapshot plumbing per binary. Producers call
+// dump_write() from their destructors; when the variable is unset every
+// call is a cheap no-op.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace nk::obs {
+
+// True when NK_OBS_DUMP names a directory.
+[[nodiscard]] bool dump_enabled();
+
+// The configured dump directory ("" when disabled).
+[[nodiscard]] const std::string& dump_dir();
+
+// "<prefix><N>" with a process-wide per-prefix counter, so several engines
+// or profilers in one process write distinct files ("engine1", "engine2").
+[[nodiscard]] std::string dump_tag(std::string_view prefix);
+
+// Writes `contents` to <dir>/<name>, creating <dir> if needed. Returns
+// false (and does nothing) when dumping is disabled or the write fails.
+bool dump_write(std::string_view name, std::string_view contents);
+
+}  // namespace nk::obs

@@ -1,0 +1,76 @@
+#include "obs/slo.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace nk::obs {
+
+slo_engine::slo_engine(timeseries& ts) : ts_{ts} {
+  ts_.add_tick_handler([this](sim_time now) { evaluate(now); });
+}
+
+void slo_engine::add(slo_objective o) {
+  slo_status st;
+  st.objective = std::move(o);
+  st.latest = std::numeric_limits<double>::quiet_NaN();
+  statuses_.push_back(std::move(st));
+}
+
+void slo_engine::add_alert_handler(alert_handler h) {
+  handlers_.push_back(std::move(h));
+}
+
+void slo_engine::evaluate(sim_time now) {
+  for (slo_status& st : statuses_) {
+    const slo_objective& o = st.objective;
+    st.latest = ts_.latest(o.metric);
+    const double budget = o.budget > 0.0 ? o.budget : 1.0;
+    st.short_burn = ts_.violation_fraction(o.metric, o.short_window,
+                                           o.threshold, o.violate_above) /
+                    budget;
+    st.long_burn = ts_.violation_fraction(o.metric, o.long_window, o.threshold,
+                                          o.violate_above) /
+                   budget;
+    const bool burning_now =
+        st.short_burn >= o.burn_threshold && st.long_burn >= o.burn_threshold;
+    const bool was_burning = st.burning;
+    st.burning = burning_now;  // before handlers: they see the alarm state
+    if (burning_now && !was_burning) {
+      // Rising edge: one alert per burning episode, not one per tick.
+      ++st.alerts_fired;
+      ++alerts_total_;
+      st.last_alert = now;
+      for (const alert_handler& h : handlers_) h(st);
+    }
+  }
+}
+
+std::string slo_engine::to_json() const {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  for (const slo_status& st : statuses_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << json_escape(st.objective.name) << "\",\"metric\":\""
+       << json_escape(st.objective.metric)
+       << "\",\"threshold\":" << st.objective.threshold
+       << ",\"violate_above\":" << (st.objective.violate_above ? "true" : "false")
+       << ",\"budget\":" << st.objective.budget << ",\"latest\":";
+    if (std::isnan(st.latest)) {
+      os << "null";
+    } else {
+      os << st.latest;
+    }
+    os << ",\"short_burn\":" << st.short_burn
+       << ",\"long_burn\":" << st.long_burn
+       << ",\"burning\":" << (st.burning ? "true" : "false")
+       << ",\"alerts\":" << st.alerts_fired
+       << ",\"last_alert_ns\":" << st.last_alert.count() << '}';
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace nk::obs

@@ -1,0 +1,84 @@
+// Declarative SLOs with multi-window burn-rate alerting over the
+// timeseries ring.
+//
+// An objective names a tracked series (p99 nqe_attr latency, a drop-ratio
+// gauge, a per-core utilization callback gauge), a violation threshold and
+// an error budget. Every timeseries tick the engine computes the fraction
+// of recent rows in violation over a short and a long window; burn rate is
+// that fraction divided by the budget. Only when BOTH windows burn faster
+// than `burn_threshold` does an alert fire (the SRE multi-window trick:
+// the long window proves it is not a blip, the short window proves it is
+// still happening). Alerts are edge-triggered per burning episode and
+// delivered to handlers — the health monitor subscribes and attaches the
+// profiler top-N plus a flight-recorder snapshot at alarm time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/timeseries.hpp"
+
+namespace nk::obs {
+
+struct slo_objective {
+  std::string name;    // "nqe_fwd_p99", "drop_ratio", ...
+  std::string metric;  // tracked timeseries series name
+  double threshold = 0.0;
+  bool violate_above = true;  // violation is value > threshold (or <)
+  // Fraction of rows allowed in violation. burn = violation_fraction /
+  // budget, so burn 1.0 exactly spends the budget and 10x means the run
+  // will blow through it in a tenth of the window.
+  double budget = 0.01;
+  sim_time short_window = milliseconds(5);
+  sim_time long_window = milliseconds(25);
+  double burn_threshold = 10.0;
+};
+
+struct slo_status {
+  slo_objective objective;
+  double latest = 0.0;  // NaN until the series has a sample
+  double short_burn = 0.0;
+  double long_burn = 0.0;
+  bool burning = false;
+  std::uint64_t alerts_fired = 0;
+  sim_time last_alert = sim_time::zero();
+};
+
+class slo_engine {
+ public:
+  // Registers itself as a tick handler on `ts`; must not outlive it.
+  explicit slo_engine(timeseries& ts);
+
+  slo_engine(const slo_engine&) = delete;
+  slo_engine& operator=(const slo_engine&) = delete;
+
+  void add(slo_objective o);
+
+  using alert_handler = std::function<void(const slo_status&)>;
+  void add_alert_handler(alert_handler h);
+
+  // Re-evaluates every objective against the timeseries at `now`. Runs on
+  // each timeseries tick; public so tests and benches can force it after
+  // snap_now().
+  void evaluate(sim_time now);
+
+  [[nodiscard]] const std::vector<slo_status>& statuses() const {
+    return statuses_;
+  }
+  [[nodiscard]] std::uint64_t alerts_total() const { return alerts_total_; }
+
+  // [{"name":..,"metric":..,"latest":..,"short_burn":..,"long_burn":..,
+  //   "burning":..,"alerts":..},...]
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  timeseries& ts_;
+  std::vector<slo_status> statuses_;
+  std::vector<alert_handler> handlers_;
+  std::uint64_t alerts_total_ = 0;
+};
+
+}  // namespace nk::obs

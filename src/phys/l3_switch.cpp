@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace nk::phys {
 
 int l3_switch::add_port(egress out) {
@@ -14,6 +16,7 @@ void l3_switch::set_route(net::ipv4_addr dst, int port) {
 }
 
 void l3_switch::ingress(net::packet p) {
+  NK_PROF("l3_switch", "forward");
   const auto it = routes_.find(p.ip.dst);
   if (it == routes_.end()) {
     ++stats_.no_route;

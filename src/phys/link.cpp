@@ -1,5 +1,7 @@
 #include "phys/link.hpp"
 
+#include "obs/profiler.hpp"
+
 #include <utility>
 
 namespace nk::phys {
@@ -19,6 +21,7 @@ void link::send(net::packet p) {
 }
 
 void link::begin_transmission(net::packet p) {
+  NK_PROF("link", "transmit");
   transmitting_ = true;
   const std::size_t size = p.wire_size();
   ++stats_.packets_sent;

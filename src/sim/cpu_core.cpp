@@ -6,11 +6,31 @@
 
 namespace nk::sim {
 
+namespace {
+cpu_charge_listener*& listener_slot() {
+  static cpu_charge_listener* listener = nullptr;
+  return listener;
+}
+}  // namespace
+
+cpu_charge_listener* set_cpu_charge_listener(cpu_charge_listener* l) {
+  cpu_charge_listener* prev = listener_slot();
+  listener_slot() = l;
+  return prev;
+}
+
+cpu_charge_listener* current_cpu_charge_listener() { return listener_slot(); }
+
 cpu_core::cpu_core(simulator& s, std::string name)
     : sim_{s}, name_{std::move(name)} {}
 
 void cpu_core::execute(sim_time cost, std::function<void()> done) {
   assert(cost >= sim_time::zero());
+#ifndef NK_NO_PROFILING
+  if (cpu_charge_listener* l = listener_slot(); l != nullptr) {
+    l->on_charge(*this, cost);
+  }
+#endif
   const sim_time start = std::max(sim_.now(), busy_until_);
   busy_until_ = start + cost;
   busy_accum_ += cost;

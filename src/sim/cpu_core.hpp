@@ -15,6 +15,25 @@
 
 namespace nk::sim {
 
+class cpu_core;
+
+// Process-wide observer of CPU charges. In a discrete-event simulation the
+// code between two scope markers takes zero virtual time; all modeled CPU
+// cost flows through cpu_core::execute(). An installed listener therefore
+// sees every cycle the simulation spends, at the moment it is committed.
+// The obs profiler implements this; sim itself stays obs-free.
+class cpu_charge_listener {
+ public:
+  virtual ~cpu_charge_listener() = default;
+  virtual void on_charge(const cpu_core& core, sim_time cost) = 0;
+};
+
+// Installs `l` (may be nullptr) and returns the previously installed
+// listener so nested installers can restore it. Simulations are
+// single-threaded; no synchronization.
+cpu_charge_listener* set_cpu_charge_listener(cpu_charge_listener* l);
+[[nodiscard]] cpu_charge_listener* current_cpu_charge_listener();
+
 class cpu_core {
  public:
   cpu_core(simulator& s, std::string name);

@@ -1,5 +1,7 @@
 #include "stack/netstack.hpp"
 
+#include "obs/profiler.hpp"
+
 #include <cassert>
 
 namespace nk::stack {
@@ -354,6 +356,7 @@ result<std::pair<net::socket_addr, buffer>> netstack::udp_recv_from(
 // --- data path --------------------------------------------------------------------
 
 void netstack::transmit(sim::cpu_core* core, net::packet p) {
+  NK_PROF("netstack", "tx");
   ++stats_.tx_packets;
   const sim_time cost = cfg_.tx_cost.of(p.wire_size());
   if (core != nullptr && cost > sim_time::zero()) {
@@ -385,6 +388,7 @@ void netstack::send_rst_for(const net::packet& p) {
 }
 
 void netstack::packet_arrived(net::packet p) {
+  NK_PROF("netstack", "rx");
   ++stats_.rx_packets;
   if (p.is_tcp()) {
     deliver_tcp(std::move(p));

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "obs/profiler.hpp"
 #include "tcp/seq.hpp"
 
 namespace nk::tcp {
@@ -293,6 +294,7 @@ bool tcb::pacing_gate() {
 }
 
 void tcb::try_send() {
+  NK_PROF("tcp", "output");
   if (state_ != tcp_state::established && state_ != tcp_state::close_wait &&
       state_ != tcp_state::fin_wait_1 && state_ != tcp_state::last_ack &&
       state_ != tcp_state::closing) {
@@ -716,6 +718,7 @@ void tcb::handle_ack(const net::packet& p) {
 }
 
 void tcb::segment_arrived(const net::packet& p) {
+  NK_PROF("tcp", "input");
   if (state_ == tcp_state::closed) return;
   ++stats_.segments_received;
   const auto& h = p.tcp();

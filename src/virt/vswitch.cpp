@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace nk::virt {
 
 int vswitch::add_port(egress out, bool bypass) {
@@ -15,6 +17,7 @@ bool vswitch::is_bypass(int port_index) const {
 }
 
 void vswitch::ingress(int from_port, net::packet p) {
+  NK_PROF("vswitch", "forward");
   int to_port = uplink_port;
   if (auto it = routes_.find(p.ip.dst); it != routes_.end()) {
     to_port = it->second;

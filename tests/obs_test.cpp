@@ -3,6 +3,7 @@
 // full NetKernel testbed, and sampling determinism under a fixed seed.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstddef>
 #include <set>
 #include <string>
@@ -12,7 +13,11 @@
 #include "core/monitor.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "sim/cpu_core.hpp"
 
 namespace nk::obs {
 namespace {
@@ -660,6 +665,285 @@ TEST(flight_recorder, monitor_snapshots_victim_on_kill) {
 }
 
 #endif  // NK_NO_TRACING
+
+// --- registry edge cases (PR 6) -----------------------------------------------
+
+TEST(metrics_registry, percentile_gauges_refresh_from_empty) {
+  metrics_registry reg;
+  histogram& h = reg.get_histogram("cold_ns");
+
+  // Empty histogram: the percentile gauges still export (value 0), and a
+  // timeseries percentile source samples NaN — never a stale number.
+  EXPECT_NE(reg.to_prom().find("nk_cold_ns_p99 0"), std::string::npos);
+
+  sim::simulator s{1};
+  timeseries ts{s, reg};
+  const std::string p99 = ts.track_percentile("cold_ns", 99.0);
+  ts.snap_now();
+  EXPECT_TRUE(std::isnan(ts.latest(p99)));
+
+  // First record: both the prom gauge and the series row refresh.
+  h.record(500);
+  s.run_until(s.now() + milliseconds(1));
+  ts.snap_now();
+  EXPECT_EQ(ts.latest(p99), h.p99());
+  EXPECT_EQ(reg.to_prom().find("nk_cold_ns_p99 0\n"), std::string::npos);
+}
+
+TEST(metrics_registry, dup_guard_covers_histogram_subseries) {
+  metrics_registry reg;
+  // Two histogram names that sanitize to the same exposition name: every
+  // derived series (buckets, sum, count, percentile gauges) must carry the
+  // _dup suffix too, or the output declares one name twice.
+  reg.get_histogram("rtt.ns").record(10);
+  reg.get_histogram("rtt/ns").record(20);
+
+  const std::string prom = reg.to_prom();
+  EXPECT_NE(prom.find("# TYPE nk_rtt_ns histogram"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE nk_rtt_ns_dup histogram"), std::string::npos);
+  EXPECT_NE(prom.find("nk_rtt_ns_dup_sum 20"), std::string::npos);
+  EXPECT_NE(prom.find("nk_rtt_ns_dup_count 1"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE nk_rtt_ns_dup_p99 gauge"), std::string::npos);
+
+  std::set<std::string> declared;
+  for (std::size_t pos = 0;
+       (pos = prom.find("# TYPE ", pos)) != std::string::npos;) {
+    pos += 7;
+    const std::size_t sp = prom.find(' ', pos);
+    ASSERT_NE(sp, std::string::npos);
+    EXPECT_TRUE(declared.insert(prom.substr(pos, sp - pos)).second)
+        << "duplicate TYPE for " << prom.substr(pos, sp - pos);
+  }
+}
+
+TEST(timeseries, unregister_prefix_turns_series_to_null) {
+  sim::simulator s{1};
+  metrics_registry reg;
+  timeseries ts{s, reg};
+  reg.get_counter("vm1_ops").inc(3);
+  ts.track("vm1_ops");
+  ts.snap_now();
+  EXPECT_EQ(ts.latest("vm1_ops"), 3.0);
+
+  // The metric family is torn down mid-run (VM detach). Later rows sample
+  // NaN; the export shows null, never the last pre-teardown value.
+  reg.unregister_prefix("vm1");
+  s.run_until(s.now() + milliseconds(1));
+  ts.snap_now();
+  EXPECT_TRUE(std::isnan(ts.latest("vm1_ops")));
+  const std::string json = ts.to_json();
+  EXPECT_NE(json.find("\"vm1_ops\":[3,null]"), std::string::npos) << json;
+  // Windowed reducers skip the NaN rows instead of poisoning the result.
+  EXPECT_EQ(ts.delta("vm1_ops", milliseconds(10)), 0.0);
+}
+
+// --- timeseries ring ----------------------------------------------------------
+
+TEST(timeseries, ring_wraps_and_windows_reduce) {
+  sim::simulator s{1};
+  metrics_registry reg;
+  counter& ops = reg.get_counter("ops");
+  timeseries_config cfg;
+  cfg.resolution = milliseconds(1);
+  cfg.retention = 4;
+  timeseries ts{s, reg, cfg};
+  ts.track("ops");
+  ts.start();
+
+  // +10 ops per sampled millisecond, for 8 ms: the 4-row ring wraps.
+  for (int i = 0; i < 8; ++i) {
+    s.run_until(s.now() + milliseconds(1));
+    ops.inc(10);
+  }
+  EXPECT_EQ(ts.samples(), 4u);
+  // Rows hold the value at tick time: t=5..8 ms sampled 40,50,60,70.
+  EXPECT_EQ(ts.latest("ops"), 70.0);
+  EXPECT_EQ(ts.delta("ops", milliseconds(10)), 30.0);
+  EXPECT_DOUBLE_EQ(ts.rate_per_sec("ops", milliseconds(10)), 10'000.0);
+  // Half the retained rows exceed 55.
+  EXPECT_DOUBLE_EQ(
+      ts.violation_fraction("ops", milliseconds(10), 55.0, /*above=*/true),
+      0.5);
+  ts.stop();
+}
+
+TEST(timeseries, snap_now_overwrites_same_timestamp) {
+  sim::simulator s{1};
+  metrics_registry reg;
+  counter& ops = reg.get_counter("ops");
+  timeseries ts{s, reg};
+  ts.track("ops");
+
+  ops.inc(1);
+  ts.snap_now();
+  ops.inc(1);
+  ts.snap_now();  // same sim time: the row is replaced, not duplicated
+  EXPECT_EQ(ts.samples(), 1u);
+  EXPECT_EQ(ts.latest("ops"), 2.0);
+}
+
+// --- SLO burn-rate engine -----------------------------------------------------
+
+TEST(slo_engine, multi_window_burn_is_edge_triggered) {
+  sim::simulator s{1};
+  metrics_registry reg;
+  gauge& lat = reg.get_gauge("lat_ns");
+  timeseries_config cfg;
+  cfg.resolution = milliseconds(1);
+  timeseries ts{s, reg, cfg};
+  ts.track("lat_ns");
+
+  slo_engine slo{ts};
+  slo_objective o;
+  o.name = "lat";
+  o.metric = "lat_ns";
+  o.threshold = 10.0;
+  o.budget = 0.01;
+  o.short_window = milliseconds(2);
+  o.long_window = milliseconds(5);
+  o.burn_threshold = 10.0;
+  slo.add(o);
+  std::size_t fired = 0;
+  slo.add_alert_handler([&fired](const slo_status& st) {
+    EXPECT_EQ(st.objective.name, "lat");
+    EXPECT_TRUE(st.burning);
+    ++fired;
+  });
+  ts.start();
+
+  // Sustained violation: one alert at the start of the episode, not one
+  // per tick.
+  lat.set(100.0);
+  s.run_until(s.now() + milliseconds(6));
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(slo.alerts_total(), 1u);
+  EXPECT_TRUE(slo.statuses()[0].burning);
+
+  // Recovery: once every violating row ages out of the long window the
+  // episode ends...
+  lat.set(1.0);
+  s.run_until(s.now() + milliseconds(8));
+  EXPECT_FALSE(slo.statuses()[0].burning);
+  EXPECT_EQ(fired, 1u);
+
+  // ...and the next violation is a new episode with its own alert.
+  lat.set(100.0);
+  s.run_until(s.now() + milliseconds(6));
+  EXPECT_EQ(fired, 2u);
+  EXPECT_EQ(slo.alerts_total(), 2u);
+  EXPECT_NE(slo.to_json().find("\"alerts\":2"), std::string::npos);
+  ts.stop();
+}
+
+// --- continuous profiler ------------------------------------------------------
+
+#ifndef NK_NO_PROFILING
+
+TEST(profiler_sim, charges_attribute_to_scope_and_core) {
+  sim::simulator s{1};
+  profiler prof{&s};
+  sim::cpu_core core{s, "core0"};
+  {
+    prof_scope scope{"tcp", "input"};
+    core.execute(microseconds(10), [] {});
+  }
+  core.execute(microseconds(5), [] {});  // no scope: explicit bucket
+  s.run();
+
+  EXPECT_EQ(prof.charged_ns(), 15'000u);
+  EXPECT_EQ(prof.attributed_ns(), 10'000u);
+  EXPECT_NEAR(prof.attribution_ratio(), 10.0 / 15.0, 1e-12);
+
+  const auto top = prof.top(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].stack, "core0;tcp:input");
+  EXPECT_EQ(top[0].ns, 10'000u);
+  EXPECT_EQ(top[0].count, 1u);
+  EXPECT_EQ(top[1].stack, "core0;(unattributed)");
+  EXPECT_EQ(top[1].ns, 5'000u);
+
+  const auto cores = prof.cores();
+  ASSERT_EQ(cores.size(), 1u);
+  EXPECT_EQ(cores[0].core, "core0");
+  EXPECT_EQ(cores[0].busy_ns, 15'000u);
+  EXPECT_EQ(cores[0].attributed_ns, 10'000u);
+
+  EXPECT_NE(prof.collapsed().find("core0;tcp:input 10000"),
+            std::string::npos);
+  EXPECT_NE(prof.to_json().find("\"attribution\""), std::string::npos);
+}
+
+TEST(profiler_sim, nested_scopes_fold_into_stacks) {
+  sim::simulator s{1};
+  profiler prof{&s};
+  sim::cpu_core core{s, "c"};
+  {
+    prof_scope pump{"servicelib", "pump"};
+    core.execute(microseconds(1), [] {});
+    {
+      prof_scope out{"tcp", "output"};
+      core.execute(microseconds(2), [] {});
+    }
+    core.execute(microseconds(3), [] {});
+  }
+  s.run();
+
+  // Both pump charges fold into one leaf; the nested charge gets its own
+  // two-deep stack.
+  const auto top = prof.top(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].stack, "c;servicelib:pump");
+  EXPECT_EQ(top[0].ns, 4'000u);
+  EXPECT_EQ(top[0].count, 2u);
+  EXPECT_EQ(top[1].stack, "c;servicelib:pump;tcp:output");
+  EXPECT_EQ(top[1].ns, 2'000u);
+  EXPECT_DOUBLE_EQ(prof.attribution_ratio(), 1.0);
+}
+
+TEST(profiler_wall, scopes_measure_exclusive_self_time) {
+  profiler prof{nullptr};
+  EXPECT_TRUE(prof.wall_mode());
+  volatile std::uint64_t sink = 0;
+  {
+    prof_scope outer{"bench", "outer"};
+    for (int i = 0; i < 100'000; ++i) sink = sink + static_cast<std::uint64_t>(i);
+    {
+      prof_scope inner{"bench", "inner"};
+      for (int i = 0; i < 100'000; ++i) sink = sink + static_cast<std::uint64_t>(i);
+    }
+  }
+  EXPECT_GT(prof.charged_ns(), 0u);
+  EXPECT_EQ(prof.charged_ns(), prof.attributed_ns());
+
+  const auto top = prof.top(10);
+  ASSERT_EQ(top.size(), 2u);
+  std::uint64_t sum = 0;
+  bool saw_outer = false;
+  bool saw_inner = false;
+  for (const auto& n : top) {
+    sum += n.ns;
+    saw_outer = saw_outer || n.stack == "wall;bench:outer";
+    saw_inner = saw_inner || n.stack == "wall;bench:outer;bench:inner";
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  // Child time subtracted from the parent: the leaves partition the total.
+  EXPECT_EQ(sum, prof.charged_ns());
+}
+
+TEST(profiler_sim, restores_previous_listener_on_destruction) {
+  sim::simulator s{1};
+  profiler outer{&s};
+  {
+    profiler inner{&s};
+    EXPECT_EQ(profiler::current(), &inner);
+    EXPECT_EQ(sim::current_cpu_charge_listener(), &inner);
+  }
+  EXPECT_EQ(profiler::current(), &outer);
+  EXPECT_EQ(sim::current_cpu_charge_listener(), &outer);
+}
+
+#endif  // NK_NO_PROFILING
 
 }  // namespace
 }  // namespace nk::obs

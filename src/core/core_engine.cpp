@@ -13,6 +13,16 @@ namespace nk::core {
 
 namespace {
 constexpr std::size_t drain_batch = 64;
+// A shard core with more than this much committed copy work stops popping
+// rings: nqes then wait in the *ring* — visible backpressure that bounds the
+// chunks in flight per lane — instead of in the core's unbounded execute
+// FIFO. Same gate ServiceLib applies in drain_jobs.
+constexpr sim_time pump_backlog_bound = microseconds(3);
+// Accepted-connection fds are minted per shard from disjoint ranges so the
+// accept hot path touches no cross-shard counter. 1M fds per shard leaves
+// the whole range above any GuestLib-minted fd.
+constexpr std::uint32_t accept_fd_base = 0x80000000;
+constexpr std::uint32_t accept_fd_stride = 0x00100000;
 }
 
 core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
@@ -21,9 +31,26 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
       cfg_{cfg},
       recorder_{cfg_.flight},
       tracer_{sim_, metrics_, cfg_.trace},
-      series_{sim_, metrics_, cfg_.timeseries},
-      core_{host.allocate_core()} {
+      series_{sim_, metrics_, cfg_.timeseries} {
   tracer_.set_flight_recorder(&recorder_);
+
+  // Build the shard array: one partition of the mapping table per shard,
+  // each with its own core from the host pool (nullptr-tolerant — a shard
+  // without a core forwards at zero modeled cost, as before).
+  const std::size_t n_shards = cfg_.shards == 0 ? 1 : cfg_.shards;
+  shards_.resize(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    shards_[s].index = s;
+    shards_[s].core = host.allocate_core();
+    // Rename shard cores for profiler attribution (safe: the profiler
+    // caches a core's name at its first charge, and a freshly allocated
+    // pool core has executed nothing). The single-shard engine keeps the
+    // pool name so existing profiles stay stable.
+    if (n_shards > 1 && shards_[s].core != nullptr) {
+      shards_[s].core->set_name("engine/shard" + std::to_string(s));
+    }
+  }
+
   // Default history: the engine-level accounting gauges, so every bench
   // that turns the ring on gets forwarding/overflow/fault trajectories
   // without naming them.
@@ -35,24 +62,24 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
   series_.track("engine_core_utilization");
   // Engine-level stats surface through the registry as callback gauges:
   // the exporters read them on demand, the hot path keeps its plain
-  // counters untouched.
+  // per-shard counters untouched.
   metrics_.register_gauge_fn("engine_nqes_forwarded", [this] {
-    return static_cast<double>(stats_.nqes_forwarded);
+    return static_cast<double>(stats().nqes_forwarded);
   });
   metrics_.register_gauge_fn("engine_unroutable_nqes", [this] {
-    return static_cast<double>(stats_.unroutable_nqes);
+    return static_cast<double>(stats().unroutable_nqes);
   });
   metrics_.register_gauge_fn("engine_mappings_installed", [this] {
-    return static_cast<double>(stats_.mappings_installed);
+    return static_cast<double>(stats().mappings_installed);
   });
   metrics_.register_gauge_fn("engine_accept_fds_minted", [this] {
-    return static_cast<double>(stats_.accept_fds_minted);
+    return static_cast<double>(stats().accept_fds_minted);
   });
   // Pipeline-wide overflow accounting: the engine's own staging lists plus
   // every ServiceLib's and GuestLib's, so one pair of numbers captures the
   // failure-accounting invariant (delivered + deferred + dropped = produced).
   metrics_.register_gauge_fn("engine_nqes_deferred", [this] {
-    double d = static_cast<double>(stats_.nqes_deferred);
+    double d = static_cast<double>(stats().nqes_deferred);
     for (const auto& [id, svc] : services_) {
       d += static_cast<double>(svc->stats().nqes_deferred);
     }
@@ -68,7 +95,7 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
     return d;
   });
   metrics_.register_gauge_fn("engine_nqes_dropped", [this] {
-    double d = static_cast<double>(stats_.nqes_dropped);
+    double d = static_cast<double>(stats().nqes_dropped);
     for (const auto& [id, svc] : services_) {
       d += static_cast<double>(svc->stats().nqes_dropped);
     }
@@ -81,7 +108,7 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
   // retired NSM incarnation (engine side plus every ServiceLib, retired
   // ones included — the invariant must survive replacement).
   metrics_.register_gauge_fn("engine_stale_nqes", [this] {
-    double d = static_cast<double>(stats_.stale_nqes);
+    double d = static_cast<double>(stats().stale_nqes);
     for (const auto& [id, svc] : services_) {
       d += static_cast<double>(svc->stats().stale_nqes);
     }
@@ -100,9 +127,48 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
     }
     return d;
   });
-  if (core_ != nullptr) {
-    metrics_.register_gauge_fn("engine_core_utilization",
-                               [c = core_] { return c->utilization(); });
+  metrics_.register_gauge_fn("engine_core_utilization", [this] {
+    double util = 0.0;
+    int cores = 0;
+    for (const auto& sh : shards_) {
+      if (sh.core != nullptr) {
+        util += sh.core->utilization();
+        ++cores;
+      }
+    }
+    return cores > 0 ? util / cores : 0.0;
+  });
+  // Per-shard observability only materializes for a sharded engine; the
+  // default single-shard engine keeps its metric namespace unchanged.
+  if (shards_.size() > 1) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::string p = "engine_shard" + std::to_string(s);
+      metrics_.register_gauge_fn(p + "_nqes_forwarded", [this, s] {
+        return static_cast<double>(shards_[s].stats.nqes_forwarded);
+      });
+      metrics_.register_gauge_fn(p + "_unroutable_nqes", [this, s] {
+        return static_cast<double>(shards_[s].stats.unroutable_nqes);
+      });
+      metrics_.register_gauge_fn(p + "_nqes_deferred", [this, s] {
+        return static_cast<double>(shards_[s].stats.nqes_deferred);
+      });
+      metrics_.register_gauge_fn(p + "_nqes_dropped", [this, s] {
+        return static_cast<double>(shards_[s].stats.nqes_dropped);
+      });
+      metrics_.register_gauge_fn(p + "_stale_nqes", [this, s] {
+        return static_cast<double>(shards_[s].stats.stale_nqes);
+      });
+      metrics_.register_gauge_fn(p + "_traces_dropped", [this, s] {
+        return static_cast<double>(shards_[s].traces_dropped);
+      });
+      if (shards_[s].core != nullptr) {
+        metrics_.register_gauge_fn(p + "_core_utilization",
+                                   [c = shards_[s].core] {
+                                     return c->utilization();
+                                   });
+      }
+      series_.track(p + "_nqes_forwarded");
+    }
   }
 }
 
@@ -121,15 +187,46 @@ core_engine::~core_engine() {
   }
 }
 
+core_engine_stats core_engine::stats() const {
+  core_engine_stats s;
+  for (const auto& sh : shards_) {
+    s.nqes_forwarded += sh.stats.nqes_forwarded;
+    s.accept_fds_minted += sh.stats.accept_fds_minted;
+    s.mappings_installed += sh.stats.mappings_installed;
+    s.mappings_removed += sh.stats.mappings_removed;
+    s.unroutable_nqes += sh.stats.unroutable_nqes;
+    s.nqes_deferred += sh.stats.nqes_deferred;
+    s.nqes_dropped += sh.stats.nqes_dropped;
+    s.stale_nqes += sh.stats.stale_nqes;
+  }
+  return s;
+}
+
+const core_engine::flow_key* core_engine::find_by_nsm(nsm_key key) const {
+  for (const auto& sh : shards_) {
+    auto it = sh.by_nsm.find(key);
+    if (it != sh.by_nsm.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+std::optional<std::size_t> core_engine::shard_of(virt::vm_id vm,
+                                                 std::uint32_t fd) const {
+  for (const auto& sh : shards_) {
+    if (sh.by_flow.contains(flow_key{vm, fd})) return sh.index;
+  }
+  return std::nullopt;
+}
+
 std::vector<core_engine::flow_row> core_engine::flow_table() {
   std::vector<flow_row> out;
   for (auto& [id, svc] : services_) {
     for (auto& rec : svc->flow_table()) {
-      auto it = by_nsm_.find(nsm_key{id, rec.cid});
-      if (it == by_nsm_.end()) continue;  // mapping not installed yet
+      const flow_key* key = find_by_nsm(nsm_key{id, rec.cid});
+      if (key == nullptr) continue;  // mapping not installed yet
       flow_row row;
-      row.vm = it->second.vm;
-      row.fd = it->second.fd;
+      row.vm = key->vm;
+      row.fd = key->fd;
       row.nsm = id;
       row.cid = rec.cid;
       row.info = std::move(rec.info);
@@ -144,9 +241,13 @@ std::vector<core_engine::flow_row> core_engine::flow_table() {
 
 std::optional<std::pair<nsm_id, std::uint32_t>> core_engine::mapping_of(
     virt::vm_id vm, std::uint32_t fd) const {
-  auto it = by_flow_.find(flow_key{vm, fd});
-  if (it == by_flow_.end() || !it->second.cid_known) return std::nullopt;
-  return std::make_pair(it->second.nsm, it->second.cid);
+  for (const auto& sh : shards_) {
+    auto it = sh.by_flow.find(flow_key{vm, fd});
+    if (it == sh.by_flow.end()) continue;
+    if (!it->second.cid_known) return std::nullopt;
+    return std::make_pair(it->second.nsm, it->second.cid);
+  }
+  return std::nullopt;
 }
 
 nsm& core_engine::create_nsm(const nsm_config& cfg) {
@@ -211,25 +312,33 @@ guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
   att.vm = &vm;
   att.module = &module;
   att.ch = std::make_unique<channel>(vm.id(), module.id(),
-                                     host_.next_region_key(), cfg_.channel);
-  att.stage = std::make_unique<overflow_stage>();
+                                     host_.next_region_key(), cfg_.channel,
+                                     shards_.size());
+  // One lane per engine shard: each shard's pumps drain only its own ring
+  // set and re-drain only its own overflow stage.
+  att.lanes.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    lane& ln = att.lanes[s];
+    ln.stage = std::make_unique<overflow_stage>();
+    ln.next_accept_fd =
+        accept_fd_base + static_cast<std::uint32_t>(s) * accept_fd_stride;
+    ln.vm_to_nsm = std::make_unique<queue_pump>(
+        sim_, cfg_.notification, [this, id = vm.id(), s]() -> std::size_t {
+          auto it = attachments_.find(id);
+          return it == attachments_.end() ? 0 : drain_vm_jobs(it->second, s);
+        });
+    ln.nsm_to_vm = std::make_unique<queue_pump>(
+        sim_, cfg_.notification, [this, id = vm.id(), s]() -> std::size_t {
+          auto it = attachments_.find(id);
+          return it == attachments_.end() ? 0 : drain_nsm_queues(it->second, s);
+        });
+  }
 
   channel* ch = att.ch.get();
-  att.vm_to_nsm = std::make_unique<queue_pump>(
-      sim_, cfg_.notification, [this, id = vm.id()]() -> std::size_t {
-        auto it = attachments_.find(id);
-        return it == attachments_.end() ? 0 : drain_vm_jobs(it->second);
-      });
-  att.nsm_to_vm = std::make_unique<queue_pump>(
-      sim_, cfg_.notification, [this, id = vm.id()]() -> std::size_t {
-        auto it = attachments_.find(id);
-        return it == attachments_.end() ? 0 : drain_nsm_queues(it->second);
-      });
-
   service_lib* service = services_.at(module.id()).get();
-  service->attach_channel(*ch, [this, id = vm.id()] {
+  service->attach_channel(*ch, [this, id = vm.id()](std::size_t s) {
     if (auto it = attachments_.find(id); it != attachments_.end()) {
-      it->second.nsm_to_vm->notify();
+      it->second.lanes[s].nsm_to_vm->notify();
     }
   });
 
@@ -237,42 +346,51 @@ guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
                                          cfg_.notification, &tracer_,
                                          cfg_.guest);
 
-  att.vm_to_nsm->start();
-  att.nsm_to_vm->start();
+  for (auto& ln : att.lanes) {
+    ln.vm_to_nsm->start();
+    ln.nsm_to_vm->start();
+  }
 
-  // Channel queue-depth gauges (both queue sets) and lifetime nqe counters.
+  // Channel queue-depth gauges (both queue sets, summed over shard lanes)
+  // and lifetime nqe counters.
   const std::string p = "vm" + std::to_string(vm.id());
   metrics_.register_gauge_fn(p + "_vmq_job_depth", [ch] {
-    return static_cast<double>(ch->vm_q.job.size_approx());
+    return static_cast<double>(ch->vm_job_depth());
   });
   metrics_.register_gauge_fn(p + "_vmq_out_depth", [ch] {
-    return static_cast<double>(ch->vm_q.completion.size_approx() +
-                               ch->vm_q.receive.size_approx());
+    return static_cast<double>(ch->vm_out_depth());
   });
   metrics_.register_gauge_fn(p + "_nsmq_job_depth", [ch] {
-    return static_cast<double>(ch->nsm_q.job.size_approx());
+    return static_cast<double>(ch->nsm_job_depth());
   });
   metrics_.register_gauge_fn(p + "_nsmq_out_depth", [ch] {
-    return static_cast<double>(ch->nsm_q.completion.size_approx() +
-                               ch->nsm_q.receive.size_approx());
+    return static_cast<double>(ch->nsm_out_depth());
   });
   metrics_.register_gauge_fn(p + "_nqes_vm_to_nsm", [ch] {
-    return static_cast<double>(ch->nqes_vm_to_nsm);
+    return static_cast<double>(ch->nqes_vm_to_nsm());
   });
   metrics_.register_gauge_fn(p + "_nqes_nsm_to_vm", [ch] {
-    return static_cast<double>(ch->nqes_nsm_to_vm);
+    return static_cast<double>(ch->nqes_nsm_to_vm());
   });
   metrics_.register_gauge_fn(p + "_pool_chunks_free", [ch] {
     return static_cast<double>(ch->pool.chunks_free());
   });
   // Staged (overflowed) depth per direction; nonzero means a ring filled
   // and the engine is carrying the excess until the consumer catches up.
-  overflow_stage* st = att.stage.get();
-  metrics_.register_gauge_fn(p + "_staged_to_nsm", [st] {
-    return static_cast<double>(st->to_nsm.size());
+  // The stages are heap-allocated, so capturing their addresses survives
+  // rehashes of attachments_.
+  std::vector<const overflow_stage*> stages;
+  stages.reserve(att.lanes.size());
+  for (const auto& ln : att.lanes) stages.push_back(ln.stage.get());
+  metrics_.register_gauge_fn(p + "_staged_to_nsm", [stages] {
+    std::size_t d = 0;
+    for (const auto* st : stages) d += st->to_nsm.size();
+    return static_cast<double>(d);
   });
-  metrics_.register_gauge_fn(p + "_staged_to_vm", [st] {
-    return static_cast<double>(st->to_vm_depth());
+  metrics_.register_gauge_fn(p + "_staged_to_vm", [stages] {
+    std::size_t d = 0;
+    for (const auto* st : stages) d += st->to_vm_depth();
+    return static_cast<double>(d);
   });
   metrics_.register_gauge_fn(p + "_nsm_staged_out", [service, id = vm.id()] {
     return static_cast<double>(service->staged_depth(id));
@@ -280,44 +398,47 @@ guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
 
   auto [it, inserted] = attachments_.emplace(vm.id(), std::move(att));
   log_info("core_engine: attached vm ", vm.id(), " (", vm.name(),
-           ") to nsm ", module.id());
+           ") to nsm ", module.id(), " across ", shards_.size(),
+           shards_.size() == 1 ? " shard" : " shards");
   return *it->second.glib;
 }
 
-void core_engine::notify_from_vm(virt::vm_id vm) {
+void core_engine::notify_from_vm(virt::vm_id vm, std::size_t shard) {
   if (auto it = attachments_.find(vm); it != attachments_.end()) {
-    it->second.vm_to_nsm->notify();
+    it->second.lanes[shard].vm_to_nsm->notify();
   }
 }
 
-void core_engine::notify_vm_space(virt::vm_id vm) {
+void core_engine::notify_vm_space(virt::vm_id vm, std::size_t shard) {
   if (auto it = attachments_.find(vm); it != attachments_.end()) {
-    it->second.nsm_to_vm->notify();
+    it->second.lanes[shard].nsm_to_vm->notify();
   }
 }
 
 // --- overflow staging ------------------------------------------------------------
 
-void core_engine::defer_or_drop(attachment& att, std::deque<shm::nqe>& stage,
+void core_engine::defer_or_drop(attachment& att, std::size_t s,
+                                std::deque<shm::nqe>& stage,
                                 const shm::nqe& e) {
+  engine_shard& sh = shards_[s];
   if (stage.size() < cfg_.overflow_limit ||
       !shm::droppable_on_overflow(e.op)) {
     stage.push_back(e);
-    ++stats_.nqes_deferred;
+    ++sh.stats.nqes_deferred;
     return;
   }
   // Hard cap: discard pure data, recycle its chunk, count the loss. The
   // pipeline never gets here while gating works (pops stop when a stage
   // fills); this is the bounded-memory backstop.
-  ++stats_.nqes_dropped;
-  tracer_.drop(e.reserved);
+  ++sh.stats.nqes_dropped;
+  drop_trace(sh, e.reserved);
   if (!e.desc.empty()) (void)att.ch->pool.free(e.desc.chunk);
 }
 
-std::size_t core_engine::flush_stage_to_nsm(attachment& att) {
-  auto& stage = att.stage->to_nsm;
+std::size_t core_engine::flush_stage_to_nsm(attachment& att, std::size_t s) {
+  auto& stage = att.lanes[s].stage->to_nsm;
   std::size_t n = 0;
-  while (!stage.empty() && att.ch->nsm_q.job.push(stage.front())) {
+  while (!stage.empty() && att.ch->nsm_q(s).job.push(stage.front())) {
     stage.pop_front();
     ++n;
   }
@@ -327,62 +448,74 @@ std::size_t core_engine::flush_stage_to_nsm(attachment& att) {
   return n;
 }
 
-std::size_t core_engine::flush_stage_to_vm(attachment& att) {
+std::size_t core_engine::flush_stage_to_vm(attachment& att, std::size_t s) {
   std::size_t n = 0;
   auto flush_one = [&](std::deque<shm::nqe>& stage, shm::nqe_queue& ring) {
     while (!stage.empty() && ring.push(stage.front())) {
       stage.pop_front();
-      ++att.ch->nqes_nsm_to_vm;
+      att.ch->count_nsm_to_vm(s);
       ++n;
     }
   };
-  flush_one(att.stage->completion, att.ch->vm_q.completion);
-  flush_one(att.stage->receive, att.ch->vm_q.receive);
+  flush_one(att.lanes[s].stage->completion, att.ch->vm_q(s).completion);
+  flush_one(att.lanes[s].stage->receive, att.ch->vm_q(s).receive);
   if (n > 0 && att.glib) att.glib->notify();
   return n;
 }
 
 // --- VM -> NSM direction ---------------------------------------------------------
 
-std::size_t core_engine::drain_vm_jobs(attachment& att) {
+std::size_t core_engine::drain_vm_jobs(attachment& att, std::size_t s) {
   NK_PROF("core_engine", "pump_fwd");
   // Overflowed nqes first: they are older than anything still in the ring.
-  std::size_t n = flush_stage_to_nsm(att);
+  std::size_t n = flush_stage_to_nsm(att, s);
   shm::nqe e;
   std::size_t popped = 0;
+  sim::cpu_core* core = shards_[s].core;
+  bool gated = false;
   // Stop accepting new work once the stage is at the limit — the job ring
   // then fills and GuestLib's would_block machinery pushes back on the app.
+  // Likewise once the shard core's copy backlog passes the bound: further
+  // pops would just park nqes in its infinite FIFO, hiding the pressure.
   while (n < drain_batch &&
-         att.stage->to_nsm.size() < cfg_.overflow_limit &&
-         att.ch->vm_q.job.pop(e)) {
+         att.lanes[s].stage->to_nsm.size() < cfg_.overflow_limit) {
+    if (core != nullptr && core->backlog() > pump_backlog_bound) {
+      gated = true;
+      break;
+    }
+    if (!att.ch->vm_q(s).job.pop(e)) break;
     ++n;
     ++popped;
-    ++att.ch->nqes_vm_to_nsm;
+    att.ch->count_vm_to_nsm(s);
     tracer_.stamp(e.reserved, obs::nqe_stage::vm_job_dwell);
-    // The copy between queue sets costs ~12 ns on the CoreEngine core
+    // The copy between queue sets costs ~12 ns on this shard's core
     // (paper §4.2); translation happens in FIFO order on that core.
-    if (core_ != nullptr) {
-      core_->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), e] {
+    if (core != nullptr) {
+      core->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), s, e] {
         if (auto it = attachments_.find(id); it != attachments_.end()) {
-          forward_to_nsm(it->second, e);
+          forward_to_nsm(it->second, s, e);
         }
       });
     } else {
-      forward_to_nsm(att, e);
+      forward_to_nsm(att, s, e);
     }
   }
   // Job-ring slots opened up: GuestLib may have deferred ops to flush.
   if (popped > 0 && att.glib) att.glib->notify();
+  if (gated) schedule_shard_redrain(s);
   return n;
 }
 
-void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
+void core_engine::forward_to_nsm(attachment& att, std::size_t s, shm::nqe e) {
   NK_PROF("core_engine", "fwd_to_nsm");
-  ++stats_.nqes_forwarded;
+  engine_shard& sh = shards_[s];
+  ++sh.stats.nqes_forwarded;
   const virt::vm_id vm = att.vm->id();
 
   if (e.op == shm::nqe_op::req_socket || e.op == shm::nqe_op::req_udp_open) {
-    // New flow: install a mapping that learns its cID from cmp_socket.
+    // New flow: install a mapping (in this shard's partition — the guest
+    // steered the request here by hashing <VM, fd>) that learns its cID
+    // from cmp_socket.
     const auto fd = static_cast<std::uint32_t>(e.token);
     flow_entry fl;
     fl.nsm = att.module->id();
@@ -390,17 +523,17 @@ void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
     shm::nqe j = e;
     j.reserved = 0;  // journal copies are re-traced when replayed
     fl.journal.push_back(j);
-    by_flow_[flow_key{vm, fd}] = std::move(fl);
-    ++stats_.mappings_installed;
-    deliver_to_nsm(att, e);
+    sh.by_flow[flow_key{vm, fd}] = std::move(fl);
+    ++sh.stats.mappings_installed;
+    deliver_to_nsm(att, s, e);
     return;
   }
 
   const auto fd = e.handle;
-  auto it = by_flow_.find(flow_key{vm, fd});
-  if (it == by_flow_.end()) {
-    ++stats_.unroutable_nqes;
-    tracer_.drop(e.reserved);
+  auto it = sh.by_flow.find(flow_key{vm, fd});
+  if (it == sh.by_flow.end()) {
+    ++sh.stats.unroutable_nqes;
+    drop_trace(sh, e.reserved);
     // A data-bearing request for an unknown flow still owns a huge-page
     // chunk; recycle it or the pool leaks.
     if ((e.op == shm::nqe_op::req_send ||
@@ -409,7 +542,7 @@ void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
         !e.desc.empty()) {
       (void)att.ch->pool.free(e.desc.chunk);
     }
-    deliver_error_to_vm(att, fd, errc::not_found);
+    deliver_error_to_vm(att, s, fd, errc::not_found);
     return;
   }
 
@@ -441,20 +574,21 @@ void core_engine::forward_to_nsm(attachment& att, shm::nqe e) {
 
   e.handle = it->second.cid;
   const bool closing = e.op == shm::nqe_op::req_close;
-  deliver_to_nsm(att, e);
+  deliver_to_nsm(att, s, e);
   if (closing) {
-    by_nsm_.erase(nsm_key{it->second.nsm, it->second.cid});
-    by_flow_.erase(it);
-    ++stats_.mappings_removed;
+    sh.by_nsm.erase(nsm_key{it->second.nsm, it->second.cid});
+    sh.by_flow.erase(it);
+    ++sh.stats.mappings_removed;
   }
 }
 
-void core_engine::deliver_to_nsm(attachment& att, shm::nqe e) {
+void core_engine::deliver_to_nsm(attachment& att, std::size_t s, shm::nqe e) {
   e.epoch = att.epoch;  // jobs carry the incarnation they were meant for
   tracer_.stamp(e.reserved, obs::nqe_stage::engine_copy_fwd);
   // Staged nqes go first (FIFO): never let a new push overtake them.
-  if (!att.stage->to_nsm.empty() || !att.ch->nsm_q.job.push(e)) {
-    defer_or_drop(att, att.stage->to_nsm, e);
+  auto& stage = att.lanes[s].stage->to_nsm;
+  if (!stage.empty() || !att.ch->nsm_q(s).job.push(e)) {
+    defer_or_drop(att, s, stage, e);
     return;
   }
   if (auto* service = service_of(att.module->id())) service->notify();
@@ -462,88 +596,123 @@ void core_engine::deliver_to_nsm(attachment& att, shm::nqe e) {
 
 // --- NSM -> VM direction -----------------------------------------------------------
 
-std::size_t core_engine::drain_nsm_queues(attachment& att) {
+std::size_t core_engine::drain_nsm_queues(attachment& att, std::size_t s) {
   NK_PROF("core_engine", "pump_rev");
   // Overflowed completions/events first, then new work — but only while
   // the VM-side stage stays below the limit; beyond it, leave nqes in the
   // NSM rings so ServiceLib sees the pressure and stalls its reads.
-  std::size_t n = flush_stage_to_vm(att);
+  std::size_t n = flush_stage_to_vm(att, s);
   shm::nqe e;
   std::size_t popped = 0;
-  // Completions first, then events; the CE core keeps this order downstream.
-  while (n < drain_batch &&
-         att.stage->to_vm_depth() < cfg_.overflow_limit &&
-         att.ch->nsm_q.completion.pop(e)) {
+  sim::cpu_core* core = shards_[s].core;
+  overflow_stage& stage = *att.lanes[s].stage;
+  bool gated = false;
+  // Completions first, then events; the shard core keeps this order
+  // downstream. The same backlog gate as the forward pump applies: past the
+  // bound, nqes — and the chunks ev_data descriptors pin — stay in the NSM
+  // rings where ServiceLib can see and react to the pressure.
+  while (n < drain_batch && stage.to_vm_depth() < cfg_.overflow_limit) {
+    if (core != nullptr && core->backlog() > pump_backlog_bound) {
+      gated = true;
+      break;
+    }
+    if (!att.ch->nsm_q(s).completion.pop(e)) break;
     ++n;
     ++popped;
     tracer_.stamp(e.reserved, obs::nqe_stage::nsm_out_dwell);
-    if (core_ != nullptr) {
-      core_->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), e] {
+    if (core != nullptr) {
+      core->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), s, e] {
         if (auto it = attachments_.find(id); it != attachments_.end()) {
-          forward_to_vm(it->second, e, false);
+          forward_to_vm(it->second, s, e, false);
         }
       });
     } else {
-      forward_to_vm(att, e, false);
+      forward_to_vm(att, s, e, false);
     }
   }
-  while (n < drain_batch &&
-         att.stage->to_vm_depth() < cfg_.overflow_limit &&
-         att.ch->nsm_q.receive.pop(e)) {
+  while (n < drain_batch && stage.to_vm_depth() < cfg_.overflow_limit) {
+    if (core != nullptr && core->backlog() > pump_backlog_bound) {
+      gated = true;
+      break;
+    }
+    if (!att.ch->nsm_q(s).receive.pop(e)) break;
     ++n;
     ++popped;
     tracer_.stamp(e.reserved, obs::nqe_stage::nsm_out_dwell);
-    if (core_ != nullptr) {
-      core_->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), e] {
+    if (core != nullptr) {
+      core->execute(cfg_.costs.nqe_copy, [this, id = att.vm->id(), s, e] {
         if (auto it = attachments_.find(id); it != attachments_.end()) {
-          forward_to_vm(it->second, e, true);
+          forward_to_vm(it->second, s, e, true);
         }
       });
     } else {
-      forward_to_vm(att, e, true);
+      forward_to_vm(att, s, e, true);
     }
   }
   // NSM-ring slots opened up: ServiceLib may have staged output to flush.
   if (popped > 0) {
     if (auto* service = service_of(att.module->id())) service->notify();
   }
+  if (gated) schedule_shard_redrain(s);
   return n;
 }
 
-void core_engine::forward_to_vm(attachment& att, shm::nqe e,
+void core_engine::schedule_shard_redrain(std::size_t s) {
+  engine_shard& sh = shards_[s];
+  if (sh.redrain_pending || sh.core == nullptr) return;
+  sh.redrain_pending = true;
+  // Wake once the committed copy work clears. Under polling pumps this is
+  // belt-and-braces (they re-poll anyway); under batched_interrupt it is
+  // what stops a gated lane from wedging with no producer left to ring the
+  // doorbell.
+  const sim_time wait = std::max(sh.core->backlog(), microseconds(1));
+  sim_.schedule(wait, [this, s] {
+    shards_[s].redrain_pending = false;
+    for (auto& [vm, att] : attachments_) {
+      (void)vm;
+      att.lanes[s].vm_to_nsm->notify();
+      att.lanes[s].nsm_to_vm->notify();
+    }
+  });
+}
+
+void core_engine::forward_to_vm(attachment& att, std::size_t s, shm::nqe e,
                                 bool receive_queue) {
   NK_PROF("core_engine", "fwd_to_vm");
+  engine_shard& sh = shards_[s];
   if (e.epoch != att.epoch) {
     // Output produced by a dead incarnation, drained after the switchover:
     // its flow state no longer exists. Discard with accounting.
-    discard_stale(att, e);
+    discard_stale(att, s, e);
     return;
   }
-  ++stats_.nqes_forwarded;
+  ++sh.stats.nqes_forwarded;
   const virt::vm_id vm = att.vm->id();
   const nsm_id module = att.module->id();
 
   switch (e.op) {
     case shm::nqe_op::cmp_socket: {
-      // Learn the <VM,fd> <-> <NSM,cID> mapping and release held ops.
+      // Learn the <VM,fd> <-> <NSM,cID> mapping and release held ops. The
+      // completion rides the same shard lane the req_socket went down, so
+      // the flow entry is in this shard's partition.
       const auto fd = static_cast<std::uint32_t>(e.token);
-      auto it = by_flow_.find(flow_key{vm, fd});
-      if (it != by_flow_.end()) {
+      auto it = sh.by_flow.find(flow_key{vm, fd});
+      if (it != sh.by_flow.end()) {
         it->second.cid = e.handle;
         it->second.cid_known = true;
-        by_nsm_[nsm_key{module, e.handle}] = flow_key{vm, fd};
+        sh.by_nsm[nsm_key{module, e.handle}] = flow_key{vm, fd};
         auto held = std::move(it->second.pending);
         it->second.pending.clear();
         bool closed = false;
         for (auto& op : held) {
           op.handle = it->second.cid;
           closed = closed || op.op == shm::nqe_op::req_close;
-          deliver_to_nsm(att, op);
+          deliver_to_nsm(att, s, op);
         }
         if (closed) {
-          by_nsm_.erase(nsm_key{module, it->second.cid});
-          by_flow_.erase(it);
-          ++stats_.mappings_removed;
+          sh.by_nsm.erase(nsm_key{module, it->second.cid});
+          sh.by_flow.erase(it);
+          ++sh.stats.mappings_removed;
         }
       }
       e.handle = fd;
@@ -551,32 +720,39 @@ void core_engine::forward_to_vm(attachment& att, shm::nqe e,
     }
     case shm::nqe_op::ev_accept: {
       // handle = listener cID, arg0 = new connection cID. Mint a VM fd for
-      // the new flow and register it (paper §3.2 accept path).
-      auto lit = by_nsm_.find(nsm_key{module, e.handle});
-      if (lit == by_nsm_.end()) {
-        ++stats_.unroutable_nqes;
-        tracer_.drop(e.reserved);
+      // the new flow and register it (paper §3.2 accept path). ServiceLib
+      // steered this event to the child's home shard (hash of <NSM, cID>),
+      // so the child's mapping installs here; the listener may live in a
+      // different partition — resolving it is a cross-shard *read* on the
+      // accept control path, never a write to another shard's state.
+      const flow_key* lkey = find_by_nsm(nsm_key{module, e.handle});
+      if (lkey == nullptr) {
+        ++sh.stats.unroutable_nqes;
+        drop_trace(sh, e.reserved);
         return;
       }
-      const std::uint32_t new_fd = att.next_accept_fd++;
+      // Copy the listener fd out before the inserts below: they may rehash
+      // the very map lkey points into.
+      const std::uint32_t listener_fd = lkey->fd;
+      const std::uint32_t new_fd = att.lanes[s].next_accept_fd++;
       const auto new_cid = static_cast<std::uint32_t>(e.arg0);
       flow_entry fl;
       fl.nsm = module;
       fl.cid = new_cid;
       fl.cid_known = true;
-      by_flow_[flow_key{vm, new_fd}] = std::move(fl);
-      by_nsm_[nsm_key{module, new_cid}] = flow_key{vm, new_fd};
-      ++stats_.accept_fds_minted;
-      ++stats_.mappings_installed;
-      e.handle = lit->second.fd;  // listener fd
+      sh.by_flow[flow_key{vm, new_fd}] = std::move(fl);
+      sh.by_nsm[nsm_key{module, new_cid}] = flow_key{vm, new_fd};
+      ++sh.stats.accept_fds_minted;
+      ++sh.stats.mappings_installed;
+      e.handle = listener_fd;
       e.arg0 = new_fd;
       break;
     }
     default: {
-      auto it = by_nsm_.find(nsm_key{module, e.handle});
-      if (it == by_nsm_.end()) {
-        ++stats_.unroutable_nqes;
-        tracer_.drop(e.reserved);
+      auto it = sh.by_nsm.find(nsm_key{module, e.handle});
+      if (it == sh.by_nsm.end()) {
+        ++sh.stats.unroutable_nqes;
+        drop_trace(sh, e.reserved);
         // Data events for an already-closed flow carry chunks; recycle.
         if ((e.op == shm::nqe_op::ev_data ||
              e.op == shm::nqe_op::ev_udp_data) &&
@@ -587,9 +763,9 @@ void core_engine::forward_to_vm(attachment& att, shm::nqe e,
       }
       const std::uint32_t fd = it->second.fd;
       if (e.op == shm::nqe_op::ev_error) {
-        by_flow_.erase(it->second);
-        by_nsm_.erase(it);
-        ++stats_.mappings_removed;
+        sh.by_flow.erase(it->second);
+        sh.by_nsm.erase(it);
+        ++sh.stats.mappings_removed;
       }
       e.handle = fd;
       break;
@@ -597,24 +773,28 @@ void core_engine::forward_to_vm(attachment& att, shm::nqe e,
   }
 
   tracer_.stamp(e.reserved, obs::nqe_stage::engine_copy_rev);
-  auto& queue = receive_queue ? att.ch->vm_q.receive : att.ch->vm_q.completion;
-  auto& stage = receive_queue ? att.stage->receive : att.stage->completion;
+  auto& queue =
+      receive_queue ? att.ch->vm_q(s).receive : att.ch->vm_q(s).completion;
+  auto& stage =
+      receive_queue ? att.lanes[s].stage->receive : att.lanes[s].stage->completion;
   // A failed push must not count as delivered, and a critical nqe (a
   // cmp_socket carrying the flow's cID, a cmp_send releasing credit) must
   // survive a full ring — it parks in the stage and flushes in order.
   if (!stage.empty() || !queue.push(e)) {
-    defer_or_drop(att, stage, e);
+    defer_or_drop(att, s, stage, e);
     return;
   }
-  ++att.ch->nqes_nsm_to_vm;
+  att.ch->count_nsm_to_vm(s);
   if (att.glib) att.glib->notify();
 }
 
 // --- fault domains: detach, replacement, recovery -----------------------------------
 
-void core_engine::discard_stale(attachment& att, const shm::nqe& e) {
-  ++stats_.stale_nqes;
-  tracer_.drop(e.reserved);
+void core_engine::discard_stale(attachment& att, std::size_t s,
+                                const shm::nqe& e) {
+  engine_shard& sh = shards_[s];
+  ++sh.stats.stale_nqes;
+  drop_trace(sh, e.reserved);
   switch (e.op) {
     case shm::nqe_op::req_send:
     case shm::nqe_op::req_udp_send:
@@ -628,22 +808,24 @@ void core_engine::discard_stale(attachment& att, const shm::nqe& e) {
   }
 }
 
-void core_engine::deliver_error_to_vm(attachment& att, std::uint32_t fd,
-                                      errc err) {
+void core_engine::deliver_error_to_vm(attachment& att, std::size_t s,
+                                      std::uint32_t fd, errc err) {
   shm::nqe e;
   e.op = shm::nqe_op::ev_error;
   e.handle = fd;
   e.status = -static_cast<std::int32_t>(err);
   e.owner = att.module->id();
   e.epoch = att.epoch;
-  // Straight to the VM-side receive queue: the fd usually has no mapping
-  // left (that is why an error is being synthesized), so the translating
-  // path cannot route it. ev_error is not droppable; a full ring stages it.
-  if (!att.stage->receive.empty() || !att.ch->vm_q.receive.push(e)) {
-    defer_or_drop(att, att.stage->receive, e);
+  // Straight to the VM-side receive lane of the flow's shard: the fd
+  // usually has no mapping left (that is why an error is being
+  // synthesized), so the translating path cannot route it. ev_error is not
+  // droppable; a full ring stages it.
+  auto& stage = att.lanes[s].stage->receive;
+  if (!stage.empty() || !att.ch->vm_q(s).receive.push(e)) {
+    defer_or_drop(att, s, stage, e);
     return;
   }
-  ++att.ch->nqes_nsm_to_vm;
+  att.ch->count_nsm_to_vm(s);
   if (att.glib) att.glib->notify();
 }
 
@@ -651,16 +833,18 @@ void core_engine::detach_vm(virt::vm_id vm) {
   auto it = attachments_.find(vm);
   if (it == attachments_.end()) return;
   attachment& att = it->second;
-  att.vm_to_nsm->stop();
-  att.nsm_to_vm->stop();
+  for (auto& ln : att.lanes) {
+    ln.vm_to_nsm->stop();
+    ln.nsm_to_vm->stop();
+  }
   if (att.glib) att.glib->stop();
   if (auto* service = service_of(att.module->id())) {
     service->detach_channel(vm);
   }
 
-  auto discard = [&](const shm::nqe& e) {
-    ++stats_.nqes_dropped;
-    tracer_.drop(e.reserved);
+  auto discard = [&](engine_shard& sh, const shm::nqe& e) {
+    ++sh.stats.nqes_dropped;
+    drop_trace(sh, e.reserved);
     switch (e.op) {
       case shm::nqe_op::req_send:
       case shm::nqe_op::req_udp_send:
@@ -675,42 +859,118 @@ void core_engine::detach_vm(virt::vm_id vm) {
   };
 
   // Both directions of the mapping table, including ops held for a cid.
-  for (auto fit = by_flow_.begin(); fit != by_flow_.end();) {
-    if (fit->first.vm != vm) {
-      ++fit;
-      continue;
+  // Each flow lives in exactly one shard's partition, so every shard is
+  // scrubbed of precisely its own entries.
+  for (auto& sh : shards_) {
+    for (auto fit = sh.by_flow.begin(); fit != sh.by_flow.end();) {
+      if (fit->first.vm != vm) {
+        ++fit;
+        continue;
+      }
+      for (const auto& held : fit->second.pending) discard(sh, held);
+      if (fit->second.cid_known) {
+        sh.by_nsm.erase(nsm_key{fit->second.nsm, fit->second.cid});
+      }
+      fit = sh.by_flow.erase(fit);
+      ++sh.stats.mappings_removed;
     }
-    for (const auto& held : fit->second.pending) discard(held);
-    if (fit->second.cid_known) {
-      by_nsm_.erase(nsm_key{fit->second.nsm, fit->second.cid});
-    }
-    fit = by_flow_.erase(fit);
-    ++stats_.mappings_removed;
   }
 
-  // Every ring and staging list may still reference huge-page chunks.
-  auto scrub_ring = [&](shm::nqe_queue& ring) {
-    shm::nqe e;
-    while (ring.pop(e)) discard(e);
-  };
-  scrub_ring(att.ch->vm_q.job);
-  scrub_ring(att.ch->vm_q.completion);
-  scrub_ring(att.ch->vm_q.receive);
-  scrub_ring(att.ch->nsm_q.job);
-  scrub_ring(att.ch->nsm_q.completion);
-  scrub_ring(att.ch->nsm_q.receive);
-  for (const auto& e : att.stage->to_nsm) discard(e);
-  for (const auto& e : att.stage->completion) discard(e);
-  for (const auto& e : att.stage->receive) discard(e);
-  att.stage->to_nsm.clear();
-  att.stage->completion.clear();
-  att.stage->receive.clear();
+  // Every ring lane and staging list may still reference huge-page chunks.
+  for (std::size_t s = 0; s < att.lanes.size(); ++s) {
+    engine_shard& sh = shards_[s];
+    auto scrub_ring = [&](shm::nqe_queue& ring) {
+      shm::nqe e;
+      while (ring.pop(e)) discard(sh, e);
+    };
+    scrub_ring(att.ch->vm_q(s).job);
+    scrub_ring(att.ch->vm_q(s).completion);
+    scrub_ring(att.ch->vm_q(s).receive);
+    scrub_ring(att.ch->nsm_q(s).job);
+    scrub_ring(att.ch->nsm_q(s).completion);
+    scrub_ring(att.ch->nsm_q(s).receive);
+    overflow_stage& stage = *att.lanes[s].stage;
+    for (const auto& e : stage.to_nsm) discard(sh, e);
+    for (const auto& e : stage.completion) discard(sh, e);
+    for (const auto& e : stage.receive) discard(sh, e);
+    stage.to_nsm.clear();
+    stage.completion.clear();
+    stage.receive.clear();
+  }
 
   metrics_.unregister_prefix("vm" + std::to_string(vm) + "_");
   log_info("core_engine: detached vm ", vm, " from nsm ", att.module->id());
   retired_attachments_.push_back(std::move(att));
   attachments_.erase(it);
 }
+
+// --- rebalance (work re-homing for skewed tenants) ----------------------------------
+
+std::size_t core_engine::rebalance_vm(virt::vm_id vm, std::size_t to_shard) {
+  if (to_shard >= shards_.size()) return 0;
+  auto ait = attachments_.find(vm);
+  if (ait == attachments_.end()) return 0;
+  attachment& att = ait->second;
+
+  // Quiescence check: nothing of this VM's may be in flight anywhere in
+  // the pipeline, or moving table entries would strand or reorder nqes.
+  for (std::size_t s = 0; s < att.lanes.size(); ++s) {
+    const auto& vq = att.ch->vm_q(s);
+    const auto& nq = att.ch->nsm_q(s);
+    if (!vq.job.empty_approx() || !vq.completion.empty_approx() ||
+        !vq.receive.empty_approx() || !nq.job.empty_approx() ||
+        !nq.completion.empty_approx() || !nq.receive.empty_approx()) {
+      return 0;
+    }
+    const overflow_stage& stage = *att.lanes[s].stage;
+    if (!stage.to_nsm.empty() || stage.to_vm_depth() != 0) return 0;
+    if (shards_[s].core != nullptr &&
+        shards_[s].core->backlog() > sim_time::zero()) {
+      return 0;
+    }
+  }
+  if (att.glib && att.glib->deferred_jobs() != 0) return 0;
+  service_lib* service = service_of(att.module->id());
+  if (service != nullptr && service->staged_depth(vm) != 0) return 0;
+  for (const auto& sh : shards_) {
+    for (const auto& [key, fl] : sh.by_flow) {
+      if (key.vm == vm && !fl.pending.empty()) return 0;
+    }
+  }
+
+  // Move every flow of the VM into to_shard's partition and re-steer both
+  // producers so the flow's future nqes ride the new lane.
+  std::size_t moved = 0;
+  engine_shard& dst = shards_[to_shard];
+  for (auto& sh : shards_) {
+    if (sh.index == to_shard) continue;
+    for (auto fit = sh.by_flow.begin(); fit != sh.by_flow.end();) {
+      if (fit->first.vm != vm) {
+        ++fit;
+        continue;
+      }
+      const flow_key key = fit->first;
+      flow_entry fl = std::move(fit->second);
+      fit = sh.by_flow.erase(fit);
+      if (fl.cid_known) {
+        sh.by_nsm.erase(nsm_key{fl.nsm, fl.cid});
+        dst.by_nsm[nsm_key{fl.nsm, fl.cid}] = key;
+        if (service != nullptr) service->set_flow_shard(fl.cid, to_shard);
+      }
+      if (att.glib) att.glib->set_flow_shard(key.fd, to_shard);
+      dst.by_flow[key] = std::move(fl);
+      ++moved;
+    }
+  }
+  if (moved > 0) {
+    metrics_.get_counter("shard_rebalances").inc(moved);
+    log_info("core_engine: rebalanced ", moved, " flows of vm ", vm,
+             " onto shard ", to_shard);
+  }
+  return moved;
+}
+
+// --- NSM replacement -----------------------------------------------------------------
 
 nsm& core_engine::replace_nsm(nsm_id failed_id, const nsm_config& cfg,
                               replace_mode mode) {
@@ -753,11 +1013,14 @@ void core_engine::try_planned_switch(nsm_id old_id, nsm_id new_id,
   service_lib* old_service = service_of(old_id);
   bool stages_clear = true;
   for (const auto& [vm, att] : attachments_) {
-    if (att.module != nullptr && att.module->id() == old_id &&
-        !att.stage->to_nsm.empty()) {
-      stages_clear = false;
-      break;
+    if (att.module == nullptr || att.module->id() != old_id) continue;
+    for (const auto& ln : att.lanes) {
+      if (!ln.stage->to_nsm.empty()) {
+        stages_clear = false;
+        break;
+      }
     }
+    if (!stages_clear) break;
   }
   const bool drained =
       stages_clear && (old_service == nullptr || old_service->quiescent());
@@ -771,21 +1034,25 @@ void core_engine::try_planned_switch(nsm_id old_id, nsm_id new_id,
   });
 }
 
-void core_engine::replay_flow(attachment& att, std::uint32_t fd,
-                              flow_entry& fl) {
-  if (fl.cid_known) by_nsm_.erase(nsm_key{fl.nsm, fl.cid});
+void core_engine::replay_flow(attachment& att, std::size_t s,
+                              std::uint32_t fd, flow_entry& fl) {
+  engine_shard& sh = shards_[s];
+  if (fl.cid_known) sh.by_nsm.erase(nsm_key{fl.nsm, fl.cid});
   fl.nsm = att.module->id();
   fl.cid = 0;
   fl.cid_known = false;  // the replacement assigns a fresh cid (cmp_socket)
   // Ops still held for the dead incarnation's cid duplicate the journal
   // (control plane) or are data that died with the module; discard them
   // with accounting before rebuilding the pending list from the journal.
-  for (const shm::nqe& held : fl.pending) discard_stale(att, held);
+  for (const shm::nqe& held : fl.pending) discard_stale(att, s, held);
   fl.pending.clear();
   // Only the socket-creation op can go down now: everything after it is
   // cid-addressed on the NSM side, and the fresh cid arrives asynchronously
   // via cmp_socket. Park the rest on the flow's pending list; the
-  // cid-arrival path translates and delivers them in journal order.
+  // cid-arrival path translates and delivers them in journal order. The
+  // replay stays inside the flow's owning shard: the journal head rides
+  // this shard's lane, so the replacement ServiceLib re-learns the same
+  // steering the guest still uses.
   bool first = true;
   for (const shm::nqe& entry : fl.journal) {
     shm::nqe e = entry;
@@ -795,7 +1062,7 @@ void core_engine::replay_flow(attachment& att, std::uint32_t fd,
       tracer_.stamp(id, obs::nqe_stage::failover_replay);
     }
     if (first) {
-      deliver_to_nsm(att, e);
+      deliver_to_nsm(att, s, e);
       first = false;
     } else {
       fl.pending.push_back(e);
@@ -825,21 +1092,24 @@ void core_engine::switch_over(nsm_id old_id, nsm_id new_id, sim_time started) {
     // old one — staged jobs here, queued jobs on the NSM side, undrained
     // outputs — is discarded with accounting instead of being misapplied.
     ++att.epoch;
-    for (const auto& e : att.stage->to_nsm) discard_stale(att, e);
-    att.stage->to_nsm.clear();
-    // Purge the job ring too: everything in it was addressed to the dead
-    // incarnation, and replayed control ops must not queue behind a ring
-    // full of doomed work (a slow drain there would delay the recovered
-    // listener by whole seconds).
-    shm::nqe queued;
-    while (att.ch->nsm_q.job.pop(queued)) discard_stale(att, queued);
+    for (std::size_t s = 0; s < att.lanes.size(); ++s) {
+      auto& stage = att.lanes[s].stage->to_nsm;
+      for (const auto& e : stage) discard_stale(att, s, e);
+      stage.clear();
+      // Purge the job ring too: everything in it was addressed to the dead
+      // incarnation, and replayed control ops must not queue behind a ring
+      // full of doomed work (a slow drain there would delay the recovered
+      // listener by whole seconds).
+      shm::nqe queued;
+      while (att.ch->nsm_q(s).job.pop(queued)) discard_stale(att, s, queued);
+    }
     att.module = fresh;
     att.ch->nsm = new_id;
     next->attach_channel(
         *att.ch,
-        [this, id = vm] {
+        [this, id = vm](std::size_t s) {
           if (auto a = attachments_.find(id); a != attachments_.end()) {
-            a->second.nsm_to_vm->notify();
+            a->second.lanes[s].nsm_to_vm->notify();
           }
         },
         att.epoch);
@@ -850,28 +1120,33 @@ void core_engine::switch_over(nsm_id old_id, nsm_id new_id, sim_time started) {
     // Partition this VM's flows: journals reconstruct listeners, datagram
     // bindings and not-yet-connected sockets on the new module; connection
     // state (established or in-progress TCP, accepted children) died with
-    // the old stack and is aborted toward the guest.
-    std::vector<std::uint32_t> doomed;
-    for (auto& [key, fl] : by_flow_) {
-      if (key.vm != vm || fl.nsm != old_id) continue;
-      if (!fl.connecting && !fl.journal.empty()) {
-        replay_flow(att, key.fd, fl);
-        ++recovered;
-      } else {
-        doomed.push_back(key.fd);
+    // the old stack and is aborted toward the guest. Each flow is replayed
+    // (or doomed) within its owning shard, so steering survives failover.
+    for (auto& sh : shards_) {
+      std::vector<std::uint32_t> doomed;
+      for (auto& [key, fl] : sh.by_flow) {
+        if (key.vm != vm || fl.nsm != old_id) continue;
+        if (!fl.connecting && !fl.journal.empty()) {
+          replay_flow(att, sh.index, key.fd, fl);
+          ++recovered;
+        } else {
+          doomed.push_back(key.fd);
+        }
       }
-    }
-    for (const std::uint32_t fd : doomed) {
-      auto bit = by_flow_.find(flow_key{vm, fd});
-      if (bit == by_flow_.end()) continue;
-      for (const auto& held : bit->second.pending) discard_stale(att, held);
-      if (bit->second.cid_known) {
-        by_nsm_.erase(nsm_key{old_id, bit->second.cid});
+      for (const std::uint32_t fd : doomed) {
+        auto bit = sh.by_flow.find(flow_key{vm, fd});
+        if (bit == sh.by_flow.end()) continue;
+        for (const auto& held : bit->second.pending) {
+          discard_stale(att, sh.index, held);
+        }
+        if (bit->second.cid_known) {
+          sh.by_nsm.erase(nsm_key{old_id, bit->second.cid});
+        }
+        sh.by_flow.erase(bit);
+        ++sh.stats.mappings_removed;
+        ++aborted;
+        deliver_error_to_vm(att, sh.index, fd, errc::nsm_reset);
       }
-      by_flow_.erase(bit);
-      ++stats_.mappings_removed;
-      ++aborted;
-      deliver_error_to_vm(att, fd, errc::nsm_reset);
     }
     next->notify();
   }

@@ -9,6 +9,17 @@
 //   * maintains the connection mapping table <VM ID, fd> <-> <NSM ID, cID>
 //     and rewrites identifiers as nqes cross the boundary;
 //   * mints fds for passively accepted connections on behalf of the VM.
+//
+// Multi-queue scaling (arXiv full version; DESIGN.md §13): the engine runs
+// as N independent shards, NIC-RSS style. Each shard owns a partition of
+// the connection-mapping table, its own cpu_core, its own per-channel ring
+// lane, its own overflow stages and its own accounting — so no lock or
+// shared mutable structure sits on the nqe hot path. A flow's home shard is
+// picked by a splitmix64 steering hash (shm/steering.hpp) over <VM, fd>
+// for guest-created sockets and over <NSM, cID> for accepted children;
+// every producer pushes a flow's nqes to its home lane, so both directions
+// of one flow live entirely inside one shard. shards = 1 (the default)
+// degenerates to the paper's single-loop engine.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +45,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
+#include "shm/steering.hpp"
 #include "virt/hypervisor.hpp"
 
 namespace nk::core {
@@ -56,6 +68,10 @@ struct core_engine_config {
   // Planned live update: how long replace_nsm waits for the old module to
   // quiesce before switching anyway (bounds a module that never drains).
   sim_time planned_drain_timeout = milliseconds(50);
+  // Engine shards (multi-queue CoreEngine). Each shard beyond the first
+  // allocates another core from the host pool (nullptr-tolerant: with the
+  // pool exhausted the shard forwards at zero modeled cost).
+  std::size_t shards = 1;
 };
 
 struct core_engine_stats {
@@ -90,10 +106,11 @@ class core_engine {
   guest_lib& attach_vm(virt::machine& vm, nsm& module);
 
   // Reverse of attach_vm: stops the pumps, removes both directions of the
-  // mapping table, recycles every chunk still referenced by rings or
-  // staging lists, and unregisters the VM's gauges. The channel and
-  // GuestLib objects are retired, not destroyed — in-flight simulator
-  // callbacks may still hold pointers into them.
+  // mapping table (each flow scrubbed from exactly its owning shard),
+  // recycles every chunk still referenced by rings or staging lists, and
+  // unregisters the VM's gauges. The channel and GuestLib objects are
+  // retired, not destroyed — in-flight simulator callbacks may still hold
+  // pointers into them.
   void detach_vm(virt::vm_id vm);
 
   // --- fault domains (NSM replacement) ----------------------------------------
@@ -106,6 +123,8 @@ class core_engine {
   // connecting TCP sockets died with the old stack and are aborted toward
   // the guest with errc::nsm_reset. In-flight nqes stamped with the old
   // incarnation's epoch are discarded with accounting on both sides.
+  // Steering is stable across failover: the epoch bump and each flow's
+  // journal replay happen within the flow's owning shard.
   enum class replace_mode {
     unplanned,  // crash recovery: the old module is failed now
     planned,    // live update: drain the old module first, then switch
@@ -136,9 +155,44 @@ class core_engine {
   }
   [[nodiscard]] obs::timeseries& series() { return series_; }
   [[nodiscard]] const obs::timeseries& series() const { return series_; }
-  [[nodiscard]] const core_engine_stats& stats() const { return stats_; }
+  // Aggregate over every shard (by value: the partitions are summed on
+  // demand so the hot path never writes a shared struct).
+  [[nodiscard]] core_engine_stats stats() const;
   [[nodiscard]] const core_engine_config& config() const { return cfg_; }
-  [[nodiscard]] sim::cpu_core* engine_core() { return core_; }
+  [[nodiscard]] sim::cpu_core* engine_core() { return shards_[0].core; }
+
+  // --- sharding ---------------------------------------------------------------
+
+  [[nodiscard]] std::size_t shards() const { return shards_.size(); }
+  // Per-shard accounting partition (for per-shard invariant checks).
+  [[nodiscard]] const core_engine_stats& shard_stats(std::size_t s) const {
+    return shards_[s].stats;
+  }
+  // Live traces this shard retired via tracer drop() — the shard-local
+  // slice of the global nqe_traces_dropped counter. At sample_rate 1.0,
+  // shard_stats(s).unroutable + .dropped + .stale == shard_traces_dropped(s)
+  // whenever every engine-side discard carried a live trace.
+  [[nodiscard]] std::uint64_t shard_traces_dropped(std::size_t s) const {
+    return shards_[s].traces_dropped;
+  }
+  [[nodiscard]] sim::cpu_core* shard_core(std::size_t s) {
+    return shards_[s].core;
+  }
+  // The shard currently homing <vm, fd>, or nullopt if the flow is unknown.
+  // Scans the partitions (control plane; rebalance can move a flow off its
+  // hash-derived home).
+  [[nodiscard]] std::optional<std::size_t> shard_of(virt::vm_id vm,
+                                                    std::uint32_t fd) const;
+
+  // Rebalance hook for skewed tenants: re-homes every flow of `vm` onto
+  // `to_shard` at a quiescent point. Quiescent means nothing of the VM's is
+  // in flight — all its ring lanes and overflow stages are empty, no ops
+  // are held pending a cID, the GuestLib has no deferred jobs, and the
+  // shard cores have no committed backlog — so moving the table entries
+  // (and re-steering both producers) cannot reorder or strand an nqe.
+  // Returns the number of flows moved (0 when not quiescent or unknown);
+  // each call that moves flows increments the `shard_rebalances` counter.
+  std::size_t rebalance_vm(virt::vm_id vm, std::size_t to_shard);
 
   // --- introspection (paper §5: provider-wide flow visibility) ----------------
 
@@ -165,13 +219,13 @@ class core_engine {
 
   // --- used by GuestLib --------------------------------------------------------
 
-  // Doorbell: the VM pushed into its job queue.
-  void notify_from_vm(virt::vm_id vm);
+  // Doorbell: the VM pushed into its job queue lane for `shard`.
+  void notify_from_vm(virt::vm_id vm, std::size_t shard = 0);
 
-  // Doorbell: the VM popped from its completion/receive queues, so staged
-  // NSM->VM nqes may now fit (keeps the overflow lists live under
+  // Doorbell: the VM popped from a shard's completion/receive lane, so
+  // staged NSM->VM nqes may now fit (keeps the overflow lists live under
   // batched-interrupt notification, where nothing else would re-run the pump).
-  void notify_vm_space(virt::vm_id vm);
+  void notify_vm_space(virt::vm_id vm, std::size_t shard = 0);
 
  private:
   struct flow_key {
@@ -179,9 +233,13 @@ class core_engine {
     std::uint32_t fd;
     friend bool operator==(const flow_key&, const flow_key&) = default;
   };
+  // splitmix64 finalizer, not std::hash: libstdc++'s std::hash<uint64_t> is
+  // the identity, which would collapse low-entropy <VM, fd> keys onto a
+  // handful of buckets (and, via the steering function, shards).
   struct flow_key_hash {
     std::size_t operator()(const flow_key& k) const {
-      return std::hash<std::uint64_t>{}((std::uint64_t{k.vm} << 32) | k.fd);
+      return static_cast<std::size_t>(
+          shm::mix64((std::uint64_t{k.vm} << 32) | k.fd));
     }
   };
   struct nsm_key {
@@ -191,7 +249,8 @@ class core_engine {
   };
   struct nsm_key_hash {
     std::size_t operator()(const nsm_key& k) const {
-      return std::hash<std::uint64_t>{}((std::uint64_t{k.id} << 32) | k.cid);
+      return static_cast<std::size_t>(
+          shm::mix64((std::uint64_t{k.id} << 32) | k.cid));
     }
   };
   struct flow_entry {
@@ -223,27 +282,54 @@ class core_engine {
     }
   };
 
+  // One engine shard: a partition of the mapping table, the core its pumps
+  // charge, and its private accounting. Only control-plane code (introspection
+  // joins, detach, failover, rebalance) ever looks across shards.
+  struct engine_shard {
+    std::size_t index = 0;
+    sim::cpu_core* core = nullptr;
+    std::unordered_map<flow_key, flow_entry, flow_key_hash> by_flow;
+    std::unordered_map<nsm_key, flow_key, nsm_key_hash> by_nsm;
+    core_engine_stats stats;
+    std::uint64_t traces_dropped = 0;  // live traces this shard retired
+    bool redrain_pending = false;      // backlog-gated pump left work in rings
+  };
+
+  // Per-attachment, per-shard plumbing: each lane owns the two pumps that
+  // drain its ring set and the overflow stage those pumps re-drain. fds for
+  // accepted connections are minted from a shard-local range so no shared
+  // counter sits on the accept path.
+  struct lane {
+    std::unique_ptr<queue_pump> vm_to_nsm;  // drains ch->vm_q(s).job
+    std::unique_ptr<queue_pump> nsm_to_vm;  // drains ch->nsm_q(s).{cmp,recv}
+    std::unique_ptr<overflow_stage> stage;
+    std::uint32_t next_accept_fd = 0;  // set per shard at attach
+  };
+
   struct attachment {
     virt::machine* vm = nullptr;
     nsm* module = nullptr;
     std::unique_ptr<channel> ch;
     std::unique_ptr<guest_lib> glib;
-    std::unique_ptr<queue_pump> vm_to_nsm;  // drains ch->vm_q.job
-    std::unique_ptr<queue_pump> nsm_to_vm;  // drains ch->nsm_q.{completion,receive}
-    std::unique_ptr<overflow_stage> stage;
-    std::uint32_t next_accept_fd = 0x80000000;  // CE-minted fds for accepts
-    std::uint8_t epoch = 0;  // NSM incarnation serving this channel
+    std::vector<lane> lanes;  // one per engine shard
+    std::uint8_t epoch = 0;   // NSM incarnation serving this channel
   };
 
-  std::size_t drain_vm_jobs(attachment& att);
-  std::size_t drain_nsm_queues(attachment& att);
-  void forward_to_nsm(attachment& att, shm::nqe e);
-  void forward_to_vm(attachment& att, shm::nqe e, bool receive_queue);
-  void deliver_to_nsm(attachment& att, shm::nqe e);
+  std::size_t drain_vm_jobs(attachment& att, std::size_t s);
+  std::size_t drain_nsm_queues(attachment& att, std::size_t s);
+  // A pump hit the shard-core backlog gate with work still in its rings:
+  // re-kick every pump on the shard once the committed copy work clears.
+  void schedule_shard_redrain(std::size_t s);
+  void forward_to_nsm(attachment& att, std::size_t s, shm::nqe e);
+  void forward_to_vm(attachment& att, std::size_t s, shm::nqe e,
+                     bool receive_queue);
+  void deliver_to_nsm(attachment& att, std::size_t s, shm::nqe e);
 
-  // Synthesizes an ev_error toward the guest, bypassing the mapping table
-  // (the fd may have no live mapping — that is usually why it is called).
-  void deliver_error_to_vm(attachment& att, std::uint32_t fd, errc err);
+  // Synthesizes an ev_error toward the guest on shard `s`, bypassing the
+  // mapping table (the fd may have no live mapping — that is usually why it
+  // is called).
+  void deliver_error_to_vm(attachment& att, std::size_t s, std::uint32_t fd,
+                           errc err);
 
   // Failover internals. switch_over retires the old module, re-points every
   // attachment at the new one under a bumped epoch, replays journals and
@@ -251,16 +337,25 @@ class core_engine {
   void switch_over(nsm_id old_id, nsm_id new_id, sim_time started);
   void try_planned_switch(nsm_id old_id, nsm_id new_id, sim_time started,
                           sim_time deadline);
-  void replay_flow(attachment& att, std::uint32_t fd, flow_entry& fl);
+  void replay_flow(attachment& att, std::size_t s, std::uint32_t fd,
+                   flow_entry& fl);
   // Discards an nqe from a dead incarnation: chunk recycled, drop traced.
-  void discard_stale(attachment& att, const shm::nqe& e);
+  void discard_stale(attachment& att, std::size_t s, const shm::nqe& e);
 
   // Overflow plumbing: park an nqe whose push failed (or drop it with full
   // accounting once the stage hits the cap), and re-drain staged nqes.
-  void defer_or_drop(attachment& att, std::deque<shm::nqe>& stage,
-                     const shm::nqe& e);
-  std::size_t flush_stage_to_nsm(attachment& att);
-  std::size_t flush_stage_to_vm(attachment& att);
+  void defer_or_drop(attachment& att, std::size_t s,
+                     std::deque<shm::nqe>& stage, const shm::nqe& e);
+  std::size_t flush_stage_to_nsm(attachment& att, std::size_t s);
+  std::size_t flush_stage_to_vm(attachment& att, std::size_t s);
+  // Tracer drop with shard attribution: forwards the retired/not-retired
+  // verdict into the shard's slice of nqe_traces_dropped.
+  void drop_trace(engine_shard& sh, std::uint64_t id) {
+    if (tracer_.drop(id)) ++sh.traces_dropped;
+  }
+  // Cross-shard by_nsm lookup (control plane only: the ev_accept listener
+  // resolution, flow_table joins). Returns the owning shard's entry.
+  [[nodiscard]] const flow_key* find_by_nsm(nsm_key key) const;
   [[nodiscard]] std::uint64_t make_token(virt::vm_id vm, std::uint32_t fd) const {
     return (std::uint64_t{vm} << 32) | fd;
   }
@@ -272,7 +367,10 @@ class core_engine {
   obs::flight_recorder recorder_;
   obs::nqe_tracer tracer_;
   obs::timeseries series_;
-  sim::cpu_core* core_;
+
+  // The shard array is fixed at construction; pumps capture shard indices,
+  // never pointers into it.
+  std::vector<engine_shard> shards_;
 
   std::vector<std::unique_ptr<nsm>> nsms_;
   std::unordered_map<nsm_id, std::unique_ptr<service_lib>> services_;
@@ -287,12 +385,7 @@ class core_engine {
   std::vector<std::unique_ptr<service_lib>> retired_services_;
   std::vector<attachment> retired_attachments_;
 
-  // The connection mapping table (Figure 3).
-  std::unordered_map<flow_key, flow_entry, flow_key_hash> by_flow_;
-  std::unordered_map<nsm_key, flow_key, nsm_key_hash> by_nsm_;
-
   sla_manager sla_;
-  core_engine_stats stats_;
 };
 
 }  // namespace nk::core

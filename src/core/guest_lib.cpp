@@ -5,6 +5,7 @@
 
 #include "core/core_engine.hpp"
 #include "obs/profiler.hpp"
+#include "shm/steering.hpp"
 
 namespace nk::core {
 
@@ -20,7 +21,8 @@ guest_lib::guest_lib(virt::machine& vm, channel& ch, core_engine& engine,
       engine_{engine},
       costs_{costs},
       cfg_{cfg},
-      tracer_{tracer} {
+      tracer_{tracer},
+      pending_lanes_(ch.shards()) {
   pump_ = std::make_unique<queue_pump>(engine.simulator(), ncfg,
                                        [this] { return drain(); });
   pump_->start();
@@ -52,46 +54,52 @@ void guest_lib::submit(const g_socket& gs, shm::nqe e, sim_time extra_cost) {
   e.owner = vm_.id();
   const sim_time cost = costs_.guestlib_per_op + extra_cost;
   if (gs.core != nullptr) {
-    gs.core->execute(cost, [this, e] { enqueue_job(e); });
+    gs.core->execute(cost, [this, e, s = gs.shard] { enqueue_job(s, e); });
     return;
   }
-  enqueue_job(e);
+  enqueue_job(gs.shard, e);
 }
 
-void guest_lib::enqueue_job(shm::nqe e) {
+void guest_lib::enqueue_job(std::size_t shard, shm::nqe e) {
   // Trace begins at the moment the nqe is bound for the VM-side job queue
   // (after the GuestLib interception cost), whether it lands on the ring
   // immediately or waits in the local pending list.
   if (tracer_ != nullptr) {
     tracer_->maybe_begin(e, /*reverse=*/false, vm_.id(), ch_.nsm);
   }
-  // Pending jobs flush first; a new push never overtakes them.
-  if (pending_jobs_.empty() && ch_.vm_q.job.push(e)) {
-    engine_.notify_from_vm(vm_.id());
+  // Pending jobs flush first; a new push never overtakes them on its lane.
+  auto& pending = pending_lanes_[shard];
+  if (pending.empty() && ch_.vm_q(shard).job.push(e)) {
+    engine_.notify_from_vm(vm_.id(), shard);
     return;
   }
-  pending_jobs_.push_back(e);
+  pending.push_back(e);
   ++stats_.jobs_deferred;
 }
 
 std::size_t guest_lib::flush_pending_jobs() {
   std::size_t n = 0;
-  while (!pending_jobs_.empty() && ch_.vm_q.job.push(pending_jobs_.front())) {
-    pending_jobs_.pop_front();
-    ++n;
+  for (std::size_t s = 0; s < pending_lanes_.size(); ++s) {
+    auto& pending = pending_lanes_[s];
+    std::size_t lane_n = 0;
+    while (!pending.empty() && ch_.vm_q(s).job.push(pending.front())) {
+      pending.pop_front();
+      ++lane_n;
+    }
+    if (lane_n > 0) engine_.notify_from_vm(vm_.id(), s);
+    n += lane_n;
   }
-  if (n > 0) {
-    engine_.notify_from_vm(vm_.id());
-    // The backlog cleared below the gate: sockets blocked on it can write.
-    if (!tx_backlogged()) wake_writers();
-  }
+  // A backlog cleared below the gate: sockets blocked on their lane can
+  // write again (wake_writers re-checks per socket).
+  if (n > 0) wake_writers();
   return n;
 }
 
 void guest_lib::wake_writers() {
   std::vector<std::uint32_t> ready;
   for (auto& [fd, gs] : sockets_) {
-    if (gs.writable_blocked && gs.inflight < cfg_.send_credit) {
+    if (gs.writable_blocked && gs.inflight < cfg_.send_credit &&
+        !lane_backlogged(gs.shard)) {
       gs.writable_blocked = false;
       ready.push_back(fd);
     }
@@ -101,14 +109,14 @@ void guest_lib::wake_writers() {
   }
 }
 
-void guest_lib::recycle_chunk(const shm::nqe& e) {
+void guest_lib::recycle_chunk(const shm::nqe& e, std::size_t shard) {
   shm::nqe back;
   back.op = shm::nqe_op::req_recv_window;
   back.handle = e.handle;
   back.desc = e.desc;
   back.owner = vm_.id();
-  if (pending_jobs_.empty() && ch_.vm_q.job.push(back)) {
-    engine_.notify_from_vm(vm_.id());
+  if (pending_lanes_[shard].empty() && ch_.vm_q(shard).job.push(back)) {
+    engine_.notify_from_vm(vm_.id(), shard);
     return;
   }
   // Job path is backed up: free the chunk in place rather than queueing the
@@ -118,19 +126,26 @@ void guest_lib::recycle_chunk(const shm::nqe& e) {
   ++stats_.chunks_freed_local;
 }
 
+void guest_lib::set_flow_shard(std::uint32_t fd, std::size_t shard) {
+  if (auto* gs = socket_of(fd); gs != nullptr && shard < pending_lanes_.size()) {
+    gs->shard = shard;
+  }
+}
+
 // --- socket API ---------------------------------------------------------------------
 
 result<std::uint32_t> guest_lib::nk_socket() {
   const std::uint32_t fd = next_fd_++;
   g_socket gs;
   gs.core = pick_core();
-  sockets_[fd] = gs;
+  gs.shard = shm::flow_shard(vm_.id(), fd, ch_.shards());
+  auto [it, inserted] = sockets_.emplace(fd, gs);
 
   shm::nqe e;
   e.op = shm::nqe_op::req_socket;
   e.handle = fd;
   e.token = fd;
-  submit(sockets_[fd], e, sim_time::zero());
+  submit(it->second, e, sim_time::zero());
   return fd;
 }
 
@@ -235,7 +250,7 @@ result<std::size_t> guest_lib::nk_send(std::uint32_t fd, buffer data) {
   const std::size_t chunk_size = ch_.pool.chunk_size();
   std::size_t accepted = 0;
   while (accepted < data.size()) {
-    if (gs->inflight >= cfg_.send_credit || tx_backlogged()) {
+    if (gs->inflight >= cfg_.send_credit || lane_backlogged(gs->shard)) {
       gs->writable_blocked = true;
       ++stats_.send_blocked;
       break;
@@ -316,16 +331,17 @@ result<std::uint32_t> guest_lib::nk_udp_open(std::uint16_t port) {
   const std::uint32_t fd = next_fd_++;
   g_socket gs;
   gs.core = pick_core();
+  gs.shard = shm::flow_shard(vm_.id(), fd, ch_.shards());
   gs.udp = true;
   gs.ph = phase::connected;  // datagram sockets are immediately usable
-  sockets_[fd] = gs;
+  auto [it, inserted] = sockets_.emplace(fd, gs);
 
   shm::nqe e;
   e.op = shm::nqe_op::req_udp_open;
   e.handle = fd;
   e.token = fd;
   e.arg0 = port;
-  submit(sockets_[fd], e, sim_time::zero());
+  submit(it->second, e, sim_time::zero());
   return fd;
 }
 
@@ -336,7 +352,8 @@ result<std::size_t> guest_lib::nk_udp_send_to(std::uint32_t fd,
   if (gs == nullptr) return errc::not_found;
   if (!gs->udp) return errc::invalid_argument;
   if (data.size() > ch_.pool.chunk_size()) return errc::invalid_argument;
-  if (gs->inflight + data.size() > cfg_.send_credit || tx_backlogged()) {
+  if (gs->inflight + data.size() > cfg_.send_credit ||
+      lane_backlogged(gs->shard)) {
     ++stats_.send_blocked;
     return errc::would_block;
   }
@@ -528,28 +545,36 @@ std::size_t guest_lib::drain() {
   std::size_t n = flush_pending_jobs();
   shm::nqe e;
   std::size_t popped = 0;
-  while (popped < drain_batch && ch_.vm_q.completion.pop(e)) {
-    ++popped;
-    if (tracer_ != nullptr && e.reserved != 0) {
-      tracer_->stamp(e.reserved, obs::nqe_stage::vm_out_dwell);
-      tracer_->finish(e.reserved);
+  // All lanes, completions before events within each. The arrival lane is
+  // the nqe's home shard — handle_nqe needs it to home accepted children
+  // and to route chunk recycles.
+  for (std::size_t s = 0; s < ch_.shards(); ++s) {
+    std::size_t lane_popped = 0;
+    while (popped < drain_batch && ch_.vm_q(s).completion.pop(e)) {
+      ++popped;
+      ++lane_popped;
+      if (tracer_ != nullptr && e.reserved != 0) {
+        tracer_->stamp(e.reserved, obs::nqe_stage::vm_out_dwell);
+        tracer_->finish(e.reserved);
+      }
+      handle_nqe(e, s);
     }
-    handle_nqe(e);
-  }
-  while (popped < drain_batch && ch_.vm_q.receive.pop(e)) {
-    ++popped;
-    if (tracer_ != nullptr && e.reserved != 0) {
-      tracer_->stamp(e.reserved, obs::nqe_stage::vm_out_dwell);
-      tracer_->finish(e.reserved);
+    while (popped < drain_batch && ch_.vm_q(s).receive.pop(e)) {
+      ++popped;
+      ++lane_popped;
+      if (tracer_ != nullptr && e.reserved != 0) {
+        tracer_->stamp(e.reserved, obs::nqe_stage::vm_out_dwell);
+        tracer_->finish(e.reserved);
+      }
+      handle_nqe(e, s);
     }
-    handle_nqe(e);
+    // Freed out-ring space: let this shard flush anything it has staged.
+    if (lane_popped > 0) engine_.notify_vm_space(vm_.id(), s);
   }
-  // Freed out-ring space: let CoreEngine flush anything it has staged.
-  if (popped > 0) engine_.notify_vm_space(vm_.id());
   return n + popped;
 }
 
-void guest_lib::handle_nqe(const shm::nqe& e) {
+void guest_lib::handle_nqe(const shm::nqe& e, std::size_t shard) {
   switch (e.op) {
     case shm::nqe_op::cmp_socket:
       return;  // fd was minted locally; nothing to learn
@@ -586,6 +611,10 @@ void guest_lib::handle_nqe(const shm::nqe& e) {
       g_socket child;
       child.ph = phase::connected;
       child.core = pick_core();
+      // The engine steered this event to the child's home shard (hash of
+      // <NSM, cID>); the arrival lane tells the guest where to send the
+      // child's own jobs.
+      child.shard = shard;
       sockets_[new_fd] = child;
       // The insert may rehash the map; look the listener up afterwards.
       auto* listener = socket_of(e.handle);
@@ -598,7 +627,7 @@ void guest_lib::handle_nqe(const shm::nqe& e) {
       auto* gs = socket_of(e.handle);
       if (gs == nullptr) {
         // Socket closed locally while data was in flight: recycle the chunk.
-        recycle_chunk(e);
+        recycle_chunk(e, shard);
         return;
       }
       gs->rx.push_back(rx_item{e.desc, 0});
@@ -609,7 +638,7 @@ void guest_lib::handle_nqe(const shm::nqe& e) {
     case shm::nqe_op::ev_udp_data: {
       auto* gs = socket_of(e.handle);
       if (gs == nullptr) {
-        recycle_chunk(e);
+        recycle_chunk(e, shard);
         return;
       }
       udp_rx_item item;

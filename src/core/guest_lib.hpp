@@ -12,6 +12,13 @@
 // by GuestLib (CoreEngine mints only accept-side fds) so that nk_socket()
 // can return without a round trip; in the prototype the same value is
 // produced by CoreEngine and the call blocks on the completion queue.
+//
+// Sharded engines (DESIGN.md §13): every socket has a home shard. Sockets
+// GuestLib creates are steered by shm::flow_shard(vm, fd); accepted children
+// adopt the shard their ev_accept arrived on (the engine steered it by
+// <NSM, cID>). All of a socket's jobs go down its home lane and its local
+// overflow staging is per lane, so one backlogged shard never blocks
+// another's sockets.
 #pragma once
 
 #include <cstdint>
@@ -141,6 +148,18 @@ class guest_lib {
   [[nodiscard]] const guest_lib_stats& stats() const { return stats_; }
   [[nodiscard]] virt::machine& vm() { return vm_; }
 
+  // Jobs staged locally across every lane (rebalance quiescence check).
+  [[nodiscard]] std::size_t deferred_jobs() const {
+    std::size_t n = 0;
+    for (const auto& lane : pending_lanes_) n += lane.size();
+    return n;
+  }
+
+  // Re-homes an existing socket onto `shard` (engine rebalance; called only
+  // at a quiescent point, so no job of the socket's is in flight on the old
+  // lane). Unknown fds are ignored.
+  void set_flow_shard(std::uint32_t fd, std::size_t shard);
+
  private:
   enum class phase {
     fresh,
@@ -178,21 +197,24 @@ class guest_lib {
     bool writable_blocked = false;
     net::socket_addr remote{};    // connect target (deadline resubmission)
     int connect_attempts = 0;     // req_connect submissions so far
+    std::size_t shard = 0;        // home engine shard (steering hash)
   };
 
   std::size_t drain();  // pump callback: completion + receive queues
-  void handle_nqe(const shm::nqe& e);
+  // `shard` is the lane the nqe arrived on — for an accepted child, the
+  // home shard the engine steered it to.
+  void handle_nqe(const shm::nqe& e, std::size_t shard);
   void submit(const g_socket& gs, shm::nqe e, sim_time extra_cost);
 
   // Job-ring overflow plumbing. enqueue_job never loses an nqe: a push that
-  // finds the ring full lands in pending_jobs_ and is re-driven, in order,
-  // by flush_pending_jobs() on every drain.
-  void enqueue_job(shm::nqe e);
+  // finds the lane's ring full lands in its pending list and is re-driven,
+  // in order, by flush_pending_jobs() on every drain.
+  void enqueue_job(std::size_t shard, shm::nqe e);
   std::size_t flush_pending_jobs();
   void wake_writers();
-  void recycle_chunk(const shm::nqe& e);
-  [[nodiscard]] bool tx_backlogged() const {
-    return pending_jobs_.size() >= cfg_.max_deferred_jobs;
+  void recycle_chunk(const shm::nqe& e, std::size_t shard);
+  [[nodiscard]] bool lane_backlogged(std::size_t shard) const {
+    return pending_lanes_[shard].size() >= cfg_.max_deferred_jobs;
   }
   // Pending-op watchdog: arms a deadline after each req_connect submission;
   // on expiry the op is resubmitted (bounded) or failed with timed_out.
@@ -212,7 +234,8 @@ class guest_lib {
   obs::nqe_tracer* tracer_ = nullptr;
   std::unique_ptr<queue_pump> pump_;
 
-  std::deque<shm::nqe> pending_jobs_;  // overflow stage for vm_q.job
+  // Per-lane overflow stage for vm_q(s).job, one per engine shard.
+  std::vector<std::deque<shm::nqe>> pending_lanes_;
   std::unordered_map<std::uint32_t, g_socket> sockets_;
   std::uint32_t next_fd_ = 3;
   std::size_t next_core_ = 0;

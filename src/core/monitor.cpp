@@ -159,9 +159,8 @@ void health_monitor::check_channels() {
     channel* ch = engine_.channel_of(vm);
     if (ch == nullptr) continue;
     auto& watch = channels_[vm];
-    const std::uint64_t forwarded = ch->nqes_vm_to_nsm + ch->nqes_nsm_to_vm;
-    const bool queued = !ch->vm_q.job.empty_approx() ||
-                        !ch->nsm_q.job.empty_approx();
+    const std::uint64_t forwarded = ch->nqes_vm_to_nsm() + ch->nqes_nsm_to_vm();
+    const bool queued = ch->vm_job_depth() > 0 || ch->nsm_job_depth() > 0;
     if (queued && forwarded == watch.last_forwarded) {
       if (++watch.stalled_streak == cfg_.stall_consecutive) {
         alert a;
@@ -198,7 +197,7 @@ void health_monitor::check_failures() {
       bool queued = false;
       for (const virt::vm_id vm : engine_.attached_vms()) {
         channel* ch = engine_.channel_of(vm);
-        if (ch != nullptr && ch->nsm == id && !ch->nsm_q.job.empty_approx()) {
+        if (ch != nullptr && ch->nsm == id && ch->nsm_job_depth() > 0) {
           queued = true;
           break;
         }

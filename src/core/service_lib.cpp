@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "obs/profiler.hpp"
+#include "shm/steering.hpp"
 
 namespace nk::core {
 
@@ -24,13 +25,19 @@ service_lib::service_lib(nsm& owner, sim::simulator& s,
   pump_ = std::make_unique<queue_pump>(s, ncfg, [this] { return drain_jobs(); });
 }
 
-void service_lib::attach_channel(channel& ch, std::function<void()> notify_ce,
+void service_lib::attach_channel(channel& ch,
+                                 std::function<void(std::size_t)> notify_ce,
                                  std::uint8_t epoch) {
   served_vm svm;
   svm.ch = &ch;
   svm.notify_ce = std::move(notify_ce);
   svm.epoch = epoch;
+  svm.lanes.resize(ch.shards());
   vms_[ch.vm_id] = std::move(svm);
+}
+
+void service_lib::set_flow_shard(std::uint32_t cid, std::size_t shard) {
+  if (auto* ps = socket_by_cid(cid)) ps->shard = shard;
 }
 
 void service_lib::drop_staged(served_vm& svm, std::deque<shm::nqe>& staged) {
@@ -47,8 +54,10 @@ void service_lib::detach_channel(virt::vm_id vm) {
   if (it == vms_.end()) return;
   served_vm& svm = it->second;
   // Staged out-nqes will never reach the departing VM; recycle their chunks.
-  drop_staged(svm, svm.staged_completion);
-  drop_staged(svm, svm.staged_receive);
+  for (auto& lane : svm.lanes) {
+    drop_staged(svm, lane.staged_completion);
+    drop_staged(svm, lane.staged_receive);
+  }
   // Close this VM's sockets on the stack and forget them.
   std::vector<std::uint32_t> cids;
   cids.reserve(sockets_.size());
@@ -93,8 +102,10 @@ void service_lib::fail() {
   // Staged completions/events reference huge-page chunks that will now
   // never be delivered; recycle them or the pool leaks across a failover.
   for (auto& [vm, svm] : vms_) {
-    drop_staged(svm, svm.staged_completion);
-    drop_staged(svm, svm.staged_receive);
+    for (auto& lane : svm.lanes) {
+      drop_staged(svm, lane.staged_completion);
+      drop_staged(svm, lane.staged_receive);
+    }
     svm.stalled_reads.clear();
   }
 }
@@ -117,12 +128,12 @@ std::vector<service_lib::flow_record> service_lib::flow_table() {
 
 bool service_lib::quiescent() const {
   for (const auto& [vm, svm] : vms_) {
-    if (!svm.staged_completion.empty() || !svm.staged_receive.empty()) {
-      return false;
+    for (const auto& lane : svm.lanes) {
+      if (!lane.staged_completion.empty() || !lane.staged_receive.empty()) {
+        return false;
+      }
     }
-    if (!svm.ch->nsm_q.job.empty_approx() ||
-        !svm.ch->nsm_q.completion.empty_approx() ||
-        !svm.ch->nsm_q.receive.empty_approx()) {
+    if (svm.ch->nsm_job_depth() != 0 || svm.ch->nsm_out_depth() != 0) {
       return false;
     }
   }
@@ -142,15 +153,17 @@ sim_time service_lib::op_cost() const {
   return costs_.servicelib_per_op + nsm_.profile().per_op_overhead;
 }
 
-bool service_lib::push_completion(served_vm& svm, shm::nqe e) {
-  return push_out(svm, e, /*receive=*/false);
+bool service_lib::push_completion(served_vm& svm, std::size_t shard,
+                                  shm::nqe e) {
+  return push_out(svm, shard, e, /*receive=*/false);
 }
 
-bool service_lib::push_receive(served_vm& svm, shm::nqe e) {
-  return push_out(svm, e, /*receive=*/true);
+bool service_lib::push_receive(served_vm& svm, std::size_t shard, shm::nqe e) {
+  return push_out(svm, shard, e, /*receive=*/true);
 }
 
-bool service_lib::push_out(served_vm& svm, shm::nqe e, bool receive) {
+bool service_lib::push_out(served_vm& svm, std::size_t shard, shm::nqe e,
+                           bool receive) {
   // A dead module emits nothing: late pushes from already-committed core
   // work are discarded with their chunks recycled and the drop counted.
   // The trace still begins so the loss is visible to the tracer — the
@@ -171,12 +184,14 @@ bool service_lib::push_out(served_vm& svm, shm::nqe e, bool receive) {
   if (tracer_ != nullptr) {
     tracer_->maybe_begin(e, /*reverse=*/true, svm.ch->vm_id, nsm_.id());
   }
-  auto& ring = receive ? svm.ch->nsm_q.receive : svm.ch->nsm_q.completion;
-  auto& staged = receive ? svm.staged_receive : svm.staged_completion;
-  // Staged nqes flush first; a new push never overtakes them.
+  auto& ring =
+      receive ? svm.ch->nsm_q(shard).receive : svm.ch->nsm_q(shard).completion;
+  out_lane& lane = svm.lanes[shard];
+  auto& staged = receive ? lane.staged_receive : lane.staged_completion;
+  // Staged nqes flush first; a new push never overtakes them on its lane.
   if (staged.empty() && ring.push(e)) {
-    ++svm.ch->nqes_nsm_to_vm;
-    if (svm.notify_ce) svm.notify_ce();
+    svm.ch->count_nsm_to_vm(shard);
+    if (svm.notify_ce) svm.notify_ce(shard);
     return true;
   }
   if (staged.size() < overflow_limit_ || !shm::droppable_on_overflow(e.op)) {
@@ -194,32 +209,39 @@ bool service_lib::push_out(served_vm& svm, shm::nqe e, bool receive) {
 
 std::size_t service_lib::flush_staged(served_vm& svm) {
   std::size_t n = 0;
-  auto flush_one = [&](std::deque<shm::nqe>& staged, shm::nqe_queue& ring) {
-    while (!staged.empty() && ring.push(staged.front())) {
-      staged.pop_front();
-      ++svm.ch->nqes_nsm_to_vm;
-      ++n;
-    }
-  };
-  flush_one(svm.staged_completion, svm.ch->nsm_q.completion);
-  flush_one(svm.staged_receive, svm.ch->nsm_q.receive);
-  if (n > 0 && svm.notify_ce) svm.notify_ce();
+  for (std::size_t s = 0; s < svm.lanes.size(); ++s) {
+    out_lane& lane = svm.lanes[s];
+    std::size_t lane_n = 0;
+    auto flush_one = [&](std::deque<shm::nqe>& staged, shm::nqe_queue& ring) {
+      while (!staged.empty() && ring.push(staged.front())) {
+        staged.pop_front();
+        svm.ch->count_nsm_to_vm(s);
+        ++lane_n;
+      }
+    };
+    flush_one(lane.staged_completion, svm.ch->nsm_q(s).completion);
+    flush_one(lane.staged_receive, svm.ch->nsm_q(s).receive);
+    if (lane_n > 0 && svm.notify_ce) svm.notify_ce(s);
+    n += lane_n;
+  }
   return n;
 }
 
 void service_lib::maybe_resume_stalled(served_vm& svm) {
   if (svm.stalled_reads.empty()) return;
   // A read stalls on chunk exhaustion or out-queue pressure; resume once
-  // both have cleared. (Also covers wakeups lost to a dropped recycle nqe.)
+  // both have cleared on the socket's own lane. (Also covers wakeups lost
+  // to a dropped recycle nqe.)
   if (svm.ch->pool.chunks_free() == 0) return;
-  if (!svm.staged_receive.empty() ||
-      svm.ch->nsm_q.receive.space_approx() == 0) {
-    return;
-  }
   auto stalled = std::move(svm.stalled_reads);
   svm.stalled_reads.clear();
   for (const std::uint32_t cid : stalled) {
     if (auto* ps = socket_by_cid(cid)) {
+      if (receive_pressured(svm, ps->shard)) {
+        // This socket's lane is still backed up; keep it stalled.
+        svm.stalled_reads.insert(cid);
+        continue;
+      }
       if (ps->udp) {
         pump_udp_reads(*ps);
       } else {
@@ -232,8 +254,11 @@ void service_lib::maybe_resume_stalled(served_vm& svm) {
 std::size_t service_lib::staged_depth(virt::vm_id vm) const {
   auto it = vms_.find(vm);
   if (it == vms_.end()) return 0;
-  return it->second.staged_completion.size() +
-         it->second.staged_receive.size();
+  std::size_t n = 0;
+  for (const auto& lane : it->second.lanes) {
+    n += lane.staged_completion.size() + lane.staged_receive.size();
+  }
+  return n;
 }
 
 service_lib::proto_socket* service_lib::socket_by_cid(std::uint32_t cid) {
@@ -284,39 +309,50 @@ std::size_t service_lib::drain_jobs() {
     shm::nqe e;
     std::size_t n = 0;
     auto* core = nsm_.core();
-    while (n < drain_batch) {
-      if (core != nullptr && core->backlog() > backlog_bound) {
-        left_behind = left_behind || !svm.ch->nsm_q.job.empty_approx();
-        break;
+    // One pump drains every shard lane of the channel: ServiceLib stays the
+    // sole consumer of each nsm_q(s).job ring. The lane a job arrives on is
+    // the flow's home shard; handle_nqe learns steering from it.
+    for (std::size_t s = 0; s < svm.lanes.size(); ++s) {
+      while (n < drain_batch) {
+        if (core != nullptr && core->backlog() > backlog_bound) {
+          left_behind =
+              left_behind || !svm.ch->nsm_q(s).job.empty_approx();
+          break;
+        }
+        if (out_backlogged(svm, s)) {
+          // The VM is not consuming this lane's completions/events; stop
+          // accepting its new jobs so pressure reaches the tenant instead
+          // of growing the stage. Other lanes keep draining.
+          left_behind =
+              left_behind || !svm.ch->nsm_q(s).job.empty_approx();
+          break;
+        }
+        if (!svm.ch->nsm_q(s).job.pop(e)) break;
+        ++n;
+        if (e.epoch != svm.epoch) {
+          // Left over from the dead incarnation this module replaced: the
+          // handles inside it refer to connections that died with the old
+          // stack. Discard with accounting instead of misrouting.
+          discard_stale(svm, e);
+          continue;
+        }
+        if (tracer_ != nullptr) {
+          tracer_->stamp(e.reserved, obs::nqe_stage::nsm_job_dwell);
+        }
+        // Charge the dispatch to the NSM core, then execute. FIFO execution
+        // on the core preserves per-socket operation order.
+        if (core != nullptr) {
+          core->execute(op_cost(), [this, vm_id = vm, s, e] {
+            if (auto it = vms_.find(vm_id); it != vms_.end()) {
+              handle_nqe(it->second, s, e);
+            }
+          });
+        } else {
+          handle_nqe(svm, s, e);
+        }
       }
-      if (out_backlogged(svm)) {
-        // The VM is not consuming completions/events; stop accepting new
-        // jobs so pressure reaches the tenant instead of growing the stage.
-        left_behind = left_behind || !svm.ch->nsm_q.job.empty_approx();
-        break;
-      }
-      if (!svm.ch->nsm_q.job.pop(e)) break;
-      ++n;
-      if (e.epoch != svm.epoch) {
-        // Left over from the dead incarnation this module replaced: the
-        // handles inside it refer to connections that died with the old
-        // stack. Discard with accounting instead of misrouting.
-        discard_stale(svm, e);
-        continue;
-      }
-      if (tracer_ != nullptr) {
-        tracer_->stamp(e.reserved, obs::nqe_stage::nsm_job_dwell);
-      }
-      // Charge the dispatch to the NSM core, then execute. FIFO execution
-      // on the core preserves per-socket operation order.
-      if (core != nullptr) {
-        core->execute(op_cost(), [this, vm_id = vm, e] {
-          if (auto it = vms_.find(vm_id); it != vms_.end()) {
-            handle_nqe(it->second, e);
-          }
-        });
-      } else {
-        handle_nqe(svm, e);
+      if (n >= drain_batch) {
+        left_behind = left_behind || !svm.ch->nsm_q(s).job.empty_approx();
       }
     }
     total += n;
@@ -347,7 +383,8 @@ void service_lib::discard_stale(served_vm& svm, const shm::nqe& e) {
   }
 }
 
-void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
+void service_lib::handle_nqe(served_vm& svm, std::size_t shard,
+                             const shm::nqe& e) {
   NK_PROF("servicelib", "dispatch");
   ++stats_.ops_processed;
   auto& stack = nsm_.stack();
@@ -367,12 +404,15 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
       ps.cid = cid;
       ps.vm = svm.ch->vm_id;
       ps.cfg = nsm_.config().tcp;
+      // The arrival lane is the flow's home shard (the guest steered the
+      // request by hashing <VM, fd>); every output rides the same lane.
+      ps.shard = shard;
       sockets_[cid] = std::move(ps);
       shm::nqe out;
       out.op = shm::nqe_op::cmp_socket;
       out.handle = cid;
       out.token = e.token;
-      push_completion(svm, out);
+      push_completion(svm, shard, out);
       return;
     }
     case shm::nqe_op::req_setsockopt: {
@@ -395,7 +435,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
       } else {
         out.status = -static_cast<std::int32_t>(errc::not_supported);
       }
-      push_completion(svm, out);
+      push_completion(svm, shard, out);
       return;
     }
     case shm::nqe_op::req_bind: {
@@ -410,7 +450,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
       } else {
         ps->bound_port = static_cast<std::uint16_t>(e.arg0);
       }
-      push_completion(svm, out);
+      push_completion(svm, shard, out);
       return;
     }
     case shm::nqe_op::req_listen: {
@@ -432,7 +472,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
           out.status = -static_cast<std::int32_t>(r.error());
         }
       }
-      push_completion(svm, out);
+      push_completion(svm, shard, out);
       return;
     }
     case shm::nqe_op::req_connect: {
@@ -462,7 +502,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
           out.status = -static_cast<std::int32_t>(r.error());
         }
       }
-      push_completion(svm, out);
+      push_completion(svm, shard, out);
       return;
     }
     case shm::nqe_op::req_send: {
@@ -474,7 +514,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
         out.op = shm::nqe_op::ev_error;
         out.handle = e.handle;
         out.status = -static_cast<std::int32_t>(errc::not_connected);
-        push_receive(svm, out);
+        push_receive(svm, shard, out);
         return;
       }
       // Copy the payload out of the huge pages into stack-owned memory; the
@@ -486,7 +526,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
         out.op = shm::nqe_op::ev_error;
         out.handle = e.handle;
         out.status = -static_cast<std::int32_t>(span.error());
-        push_receive(svm, out);
+        push_receive(svm, shard, out);
         return;
       }
       buffer data = buffer::copy_of(span.value());
@@ -514,6 +554,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
       ps.cid = cid;
       ps.vm = svm.ch->vm_id;
       ps.udp = true;
+      ps.shard = shard;  // home lane: where the creating request arrived
       shm::nqe out;
       out.op = shm::nqe_op::cmp_socket;
       out.handle = cid;
@@ -526,7 +567,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
         out.status = -static_cast<std::int32_t>(r.error());
       }
       sockets_[cid] = std::move(ps);
-      push_completion(svm, out);
+      push_completion(svm, shard, out);
       return;
     }
     case shm::nqe_op::req_udp_send: {
@@ -538,7 +579,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
         out.op = shm::nqe_op::ev_error;
         out.handle = e.handle;
         out.status = -static_cast<std::int32_t>(errc::not_found);
-        push_receive(svm, out);
+        push_receive(svm, shard, out);
         return;
       }
       buffer data = buffer::copy_of(span.value());
@@ -564,7 +605,7 @@ void service_lib::handle_nqe(served_vm& svm, const shm::nqe& e) {
       out.handle = e.handle;
       out.token = e.token;
       out.arg0 = len;
-      push_completion(svm, out);
+      push_completion(svm, shard, out);
       return;
     }
     case shm::nqe_op::req_shutdown_wr: {
@@ -594,41 +635,57 @@ void service_lib::handle_stack_event(const stack::socket_event& ev) {
   if (failed_) return;
   auto* ps = socket_by_ssock(ev.sock);
   if (ps == nullptr) return;
-  auto* svm_it = &vms_[ps->vm];
+  // find, not operator[]: a stack event racing a detach must not implant a
+  // served_vm with a null channel.
+  auto vit = vms_.find(ps->vm);
+  if (vit == vms_.end()) return;
+  served_vm& svm = vit->second;
 
   switch (ev.type) {
     case stack::socket_event_type::connected: {
       shm::nqe out;
       out.op = shm::nqe_op::cmp_connected;
       out.handle = ps->cid;
-      push_completion(*svm_it, out);
+      push_completion(svm, ps->shard, out);
       return;
     }
     case stack::socket_event_type::accept_ready: {
       auto& stack = nsm_.stack();
+      // Inserting children below may rehash sockets_, invalidating ps; keep
+      // the listener's fields by value.
+      const std::uint32_t listener_cid = ps->cid;
+      const virt::vm_id vm = ps->vm;
+      const tcp::tcp_config cfg = ps->cfg;
       while (true) {
         auto r = stack.accept(ev.sock);
         if (!r) break;
         const std::uint32_t cid = next_cid_++;
         proto_socket child;
         child.cid = cid;
-        child.vm = ps->vm;
-        child.cfg = ps->cfg;
+        child.vm = vm;
+        child.cfg = cfg;
         child.ssock = r.value();
+        // Accepted children are steered by <NSM, cID> — the guest has no fd
+        // yet, so this is the only key both sides can compute. The engine
+        // learns the shard from the arrival lane of the ev_accept.
+        child.shard = shm::nsm_shard(nsm_.id(), cid, svm.lanes.size());
+        const std::size_t child_shard = child.shard;
         sockets_[cid] = std::move(child);
         by_ssock_[r.value()] = cid;
-        if (sla_ != nullptr) (void)sla_->allow_connection(ps->vm);
+        if (sla_ != nullptr) (void)sla_->allow_connection(vm);
 
         shm::nqe out;
         out.op = shm::nqe_op::ev_accept;
-        out.handle = ps->cid;  // listener
-        out.arg0 = cid;        // the new connection
+        out.handle = listener_cid;  // listener
+        out.arg0 = cid;             // the new connection
         if (auto* t = stack.tcb_of(r.value())) {
           out.arg1 = (std::uint64_t{t->tuple().remote.ip.value} << 16) |
                      t->tuple().remote.port;
         }
         ++stats_.accept_events;
-        push_receive(*svm_it, out);
+        // The event rides the child's home lane, not the listener's: its
+        // arrival ring is how the engine and the guest learn the steering.
+        push_receive(svm, child_shard, out);
       }
       return;
     }
@@ -650,7 +707,7 @@ void service_lib::handle_stack_event(const stack::socket_event& ev) {
                    : shm::nqe_op::ev_error;
       out.handle = ps->cid;
       out.status = -static_cast<std::int32_t>(ev.error);
-      push_receive(*svm_it, out);
+      push_receive(svm, ps->shard, out);
       drop_socket(ps->cid);
       return;
     }
@@ -660,9 +717,13 @@ void service_lib::handle_stack_event(const stack::socket_event& ev) {
 void service_lib::pump_reads(proto_socket& ps) {
   NK_PROF("servicelib", "pump_reads");
   if (ps.ssock == 0) return;
-  auto& svm = vms_[ps.vm];
+  // find, not operator[]: never implant a null-channel served_vm.
+  auto vit = vms_.find(ps.vm);
+  if (vit == vms_.end()) return;
+  served_vm& svm = vit->second;
   auto& stack = nsm_.stack();
   const std::size_t chunk_size = svm.ch->pool.chunk_size();
+  const std::size_t shard = ps.shard;
 
   while (true) {
     if (svm.ch->pool.chunks_free() == 0) {
@@ -673,10 +734,10 @@ void service_lib::pump_reads(proto_socket& ps) {
       ++stats_.chunk_stalls;
       return;
     }
-    if (!svm.staged_receive.empty() ||
-        svm.ch->nsm_q.receive.space_approx() == 0) {
-      // Out-queue pressure: the receive ring (or its overflow stage) is
-      // backed up. Leave data in the stack and resume once it drains.
+    if (receive_pressured(svm, shard)) {
+      // Out-queue pressure: this lane's receive ring (or its overflow
+      // stage) is backed up. Leave data in the stack and resume once it
+      // drains.
       svm.stalled_reads.insert(ps.cid);
       ++stats_.queue_stalls;
       return;
@@ -690,13 +751,13 @@ void service_lib::pump_reads(proto_socket& ps) {
         out.op = shm::nqe_op::ev_closed;
         out.handle = ps.cid;
         if (auto* core = nsm_.core(); core != nullptr) {
-          core->execute(sim_time::zero(), [this, vm = ps.vm, out] {
+          core->execute(sim_time::zero(), [this, vm = ps.vm, shard, out] {
             if (auto it = vms_.find(vm); it != vms_.end()) {
-              push_receive(it->second, out);
+              push_receive(it->second, shard, out);
             }
           });
         } else {
-          push_receive(svm, out);
+          push_receive(svm, shard, out);
         }
       }
       return;
@@ -718,13 +779,13 @@ void service_lib::pump_reads(proto_socket& ps) {
                                     static_cast<std::uint32_t>(data.size())};
     if (auto* core = nsm_.core(); core != nullptr) {
       core->execute(costs_.memcpy_cost(data.size()),
-                    [this, vm = ps.vm, out] {
+                    [this, vm = ps.vm, shard, out] {
                       if (auto it = vms_.find(vm); it != vms_.end()) {
-                        push_receive(it->second, out);
+                        push_receive(it->second, shard, out);
                       }
                     });
     } else {
-      push_receive(svm, out);
+      push_receive(svm, shard, out);
     }
   }
 }
@@ -732,9 +793,13 @@ void service_lib::pump_reads(proto_socket& ps) {
 void service_lib::pump_udp_reads(proto_socket& ps) {
   NK_PROF("servicelib", "pump_udp_reads");
   if (ps.ssock == 0) return;
-  auto& svm = vms_[ps.vm];
+  // find, not operator[]: never implant a null-channel served_vm.
+  auto vit = vms_.find(ps.vm);
+  if (vit == vms_.end()) return;
+  served_vm& svm = vit->second;
   auto& stack = nsm_.stack();
   const std::size_t chunk_size = svm.ch->pool.chunk_size();
+  const std::size_t shard = ps.shard;
 
   while (true) {
     if (svm.ch->pool.chunks_free() == 0) {
@@ -742,8 +807,7 @@ void service_lib::pump_udp_reads(proto_socket& ps) {
       ++stats_.chunk_stalls;
       return;
     }
-    if (!svm.staged_receive.empty() ||
-        svm.ch->nsm_q.receive.space_approx() == 0) {
+    if (receive_pressured(svm, shard)) {
       svm.stalled_reads.insert(ps.cid);
       ++stats_.queue_stalls;
       return;
@@ -771,13 +835,13 @@ void service_lib::pump_udp_reads(proto_socket& ps) {
     out.arg1 = from.port;
     if (auto* core = nsm_.core(); core != nullptr) {
       core->execute(costs_.memcpy_cost(data.size()),
-                    [this, vm = ps.vm, out] {
+                    [this, vm = ps.vm, shard, out] {
                       if (auto it = vms_.find(vm); it != vms_.end()) {
-                        push_receive(it->second, out);
+                        push_receive(it->second, shard, out);
                       }
                     });
     } else {
-      push_receive(svm, out);
+      push_receive(svm, shard, out);
     }
   }
 }
@@ -785,7 +849,10 @@ void service_lib::pump_udp_reads(proto_socket& ps) {
 void service_lib::try_deliver_sends(proto_socket& ps) {
   NK_PROF("servicelib", "deliver_sends");
   if (ps.ssock == 0) return;
-  auto& svm = vms_[ps.vm];
+  // find, not operator[]: never implant a null-channel served_vm.
+  auto vit = vms_.find(ps.vm);
+  if (vit == vms_.end()) return;
+  served_vm& svm = vit->second;
   auto& stack = nsm_.stack();
 
   while (!ps.pending_send.empty()) {
@@ -816,7 +883,7 @@ void service_lib::try_deliver_sends(proto_socket& ps) {
       out.op = shm::nqe_op::ev_error;
       out.handle = ps.cid;
       out.status = -static_cast<std::int32_t>(r.error());
-      push_receive(svm, out);
+      push_receive(svm, ps.shard, out);
       if (tracer_ != nullptr) {
         for (const auto& tx : ps.pending_send) tracer_->finish(tx.trace);
       }
@@ -840,7 +907,7 @@ void service_lib::try_deliver_sends(proto_socket& ps) {
     out.handle = ps.cid;
     out.token = token;
     out.arg0 = original;
-    push_completion(svm, out);
+    push_completion(svm, ps.shard, out);
     ps.pending_send.pop_front();
   }
 }

@@ -52,10 +52,11 @@ class service_lib {
   service_lib& operator=(const service_lib&) = delete;
 
   // CoreEngine wires one channel per served VM. `notify_ce` is the doorbell
-  // toward CoreEngine's NSM->VM pump. `epoch` is the NSM-incarnation tag of
-  // this attachment: outputs carry it, and jobs stamped with a different
-  // epoch (left over from a dead predecessor) are discarded with accounting.
-  void attach_channel(channel& ch, std::function<void()> notify_ce,
+  // toward CoreEngine's NSM->VM pump for one shard lane (the engine runs one
+  // pump per shard). `epoch` is the NSM-incarnation tag of this attachment:
+  // outputs carry it, and jobs stamped with a different epoch (left over
+  // from a dead predecessor) are discarded with accounting.
+  void attach_channel(channel& ch, std::function<void(std::size_t)> notify_ce,
                       std::uint8_t epoch = 0);
 
   // Reverse of attach_channel: frees staged chunks, closes the VM's sockets
@@ -112,15 +113,24 @@ class service_lib {
   };
   [[nodiscard]] std::vector<flow_record> flow_table();
 
+  // Re-homes a cid onto `shard` (engine rebalance at a quiescent point).
+  // Unknown cids are ignored.
+  void set_flow_shard(std::uint32_t cid, std::size_t shard);
+
  private:
-  struct served_vm {
-    channel* ch = nullptr;
-    std::function<void()> notify_ce;
-    std::uint8_t epoch = 0;  // incarnation tag stamped on every output
-    std::unordered_set<std::uint32_t> stalled_reads;  // cids awaiting chunks
-    // Out-ring overflow staging: flushed, in order, before any new push.
+  // Out-ring overflow staging for one shard lane: flushed, in order, before
+  // any new push to that lane.
+  struct out_lane {
     std::deque<shm::nqe> staged_completion;
     std::deque<shm::nqe> staged_receive;
+  };
+
+  struct served_vm {
+    channel* ch = nullptr;
+    std::function<void(std::size_t)> notify_ce;
+    std::uint8_t epoch = 0;  // incarnation tag stamped on every output
+    std::unordered_set<std::uint32_t> stalled_reads;  // cids awaiting chunks
+    std::vector<out_lane> lanes;  // one per engine shard (ch->shards())
   };
 
   struct pending_tx {
@@ -140,11 +150,16 @@ class service_lib {
     bool udp = false;
     std::deque<pending_tx> pending_send;
     bool sla_retry_armed = false;
+    // Home engine shard: learned from the job-ring lane the creating request
+    // arrived on; accepted children are steered by shm::nsm_shard. All of
+    // this socket's outputs go out the home lane.
+    std::size_t shard = 0;
   };
 
   // Job-queue drain (the pump's callback).
   std::size_t drain_jobs();
-  void handle_nqe(served_vm& svm, const shm::nqe& e);
+  // `shard` is the job-ring lane the nqe arrived on — the flow's home shard.
+  void handle_nqe(served_vm& svm, std::size_t shard, const shm::nqe& e);
   // Discards a job from a retired incarnation: chunk freed, drop traced.
   void discard_stale(served_vm& svm, const shm::nqe& e);
   // Recycles the chunks referenced by a staging list and counts the drops.
@@ -158,18 +173,28 @@ class service_lib {
 
   // Queue push helpers. Fallible by contract: true means the nqe was
   // delivered or staged for in-order retry; false means it was discarded
-  // (overflow cap hit), its chunk recycled and the drop counted.
-  bool push_completion(served_vm& svm, shm::nqe e);
-  bool push_receive(served_vm& svm, shm::nqe e);
-  bool push_out(served_vm& svm, shm::nqe e, bool receive);
+  // (overflow cap hit), its chunk recycled and the drop counted. `shard`
+  // picks the out-ring lane (the flow's home shard).
+  bool push_completion(served_vm& svm, std::size_t shard, shm::nqe e);
+  bool push_receive(served_vm& svm, std::size_t shard, shm::nqe e);
+  bool push_out(served_vm& svm, std::size_t shard, shm::nqe e, bool receive);
 
   // Overflow plumbing: re-drain staged nqes into the rings, resume reads
   // stalled on chunk or queue pressure once it clears.
   std::size_t flush_staged(served_vm& svm);
   void maybe_resume_stalled(served_vm& svm);
-  [[nodiscard]] bool out_backlogged(const served_vm& svm) const {
-    return svm.staged_completion.size() + svm.staged_receive.size() >=
+  [[nodiscard]] bool out_backlogged(const served_vm& svm,
+                                    std::size_t shard) const {
+    const out_lane& lane = svm.lanes[shard];
+    return lane.staged_completion.size() + lane.staged_receive.size() >=
            overflow_limit_;
+  }
+  // True when this lane's receive path is backed up (stage nonempty or ring
+  // full) — the per-lane read-stall condition.
+  [[nodiscard]] bool receive_pressured(const served_vm& svm,
+                                       std::size_t shard) const {
+    return !svm.lanes[shard].staged_receive.empty() ||
+           svm.ch->nsm_q(shard).receive.space_approx() == 0;
   }
 
   [[nodiscard]] proto_socket* socket_by_cid(std::uint32_t cid);

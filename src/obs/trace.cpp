@@ -168,16 +168,17 @@ void nqe_tracer::finish(std::uint64_t id) {
 #endif
 }
 
-void nqe_tracer::drop(std::uint64_t id) {
+bool nqe_tracer::drop(std::uint64_t id) {
   // Only a trace that was actually live counts: a request trace already
   // finished at dispatch (whose id still rides in the nqe) is not a drop.
-  if (id == 0) return;
+  if (id == 0) return false;
   auto it = active_.find(id);
-  if (it == active_.end()) return;
+  if (it == active_.end()) return false;
   record_event(it->second, flight_event_kind::trace_drop,
                nqe_stage::vm_job_dwell, sim_.now());
   active_.erase(it);
   dropped_->inc();
+  return true;
 }
 
 std::string nqe_tracer::to_chrome_json() const {

@@ -127,8 +127,10 @@ class nqe_tracer {
   // Abandons a trace without recording totals: the nqe carrying it was
   // discarded (unroutable, or dropped under overflow). Every call that
   // retires a live trace increments the `nqe_traces_dropped` counter, so the
-  // registry can cross-check the pipeline's drop accounting.
-  void drop(std::uint64_t id);
+  // registry can cross-check the pipeline's drop accounting. Returns true
+  // iff a live trace was retired, letting per-shard drop accounting count
+  // exactly what the global counter counted.
+  bool drop(std::uint64_t id);
 
   // Live traces retired via drop() — the tracer's independent count of
   // discarded nqes (sampled ones only; sample_rate 1.0 sees every drop).

@@ -47,6 +47,12 @@ class cpu_core {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  // Renames the core. The profiler caches a core's name at its first
+  // charge, so renaming is only meaningful before the core has executed
+  // any work (e.g. a freshly allocated pool core adopted as an engine
+  // shard core).
+  void set_name(std::string name) { name_ = std::move(name); }
+
   // Cumulative busy time charged so far.
   [[nodiscard]] sim_time busy_time() const { return busy_accum_; }
 

@@ -580,5 +580,335 @@ TEST(core_engine, detach_vm_reclaims_channel_and_metrics) {
   EXPECT_TRUE(t2.glib->nk_bind(fd2, 7100).ok());
 }
 
+// Regression for a family of rehash bugs: handler code held references and
+// iterators into by_flow_ / by_nsm_ / sockets_ across inserts into the same
+// maps (ev_accept resolved the listener, then inserted the child — a rehash
+// invalidated the listener iterator). Waves of concurrent accepts grow the
+// tables through several rehash points mid-callback; every connection must
+// still echo correctly and every chunk must come home.
+TEST(netkernel_churn, accept_close_churn_survives_table_rehashes) {
+  nk_pair rig;
+  auto& glib_s = *rig.server.glib;
+  auto& glib_c = *rig.client.glib;
+
+  const auto lfd = glib_s.nk_socket().value();
+  ASSERT_TRUE(glib_s.nk_bind(lfd, 7000).ok());
+  ASSERT_TRUE(glib_s.nk_listen(lfd).ok());
+  glib_s.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                               errc) {
+    if (fd == lfd && t == stack::socket_event_type::accept_ready) {
+      while (glib_s.nk_accept(lfd).ok()) {
+      }
+    } else if (t == stack::socket_event_type::readable) {
+      while (auto r = glib_s.nk_recv(fd, 1 << 20)) {
+        (void)glib_s.nk_send(fd, std::move(r).value());
+      }
+    }
+  });
+
+  int echoed = 0;
+  glib_c.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                               errc) {
+    if (t == stack::socket_event_type::connected) {
+      (void)glib_c.nk_send(fd, buffer::pattern(4096, fd));
+    } else if (t == stack::socket_event_type::readable) {
+      buffer_chain got;
+      while (auto r = glib_c.nk_recv(fd, 1 << 20)) {
+        got.append(std::move(r).value());
+      }
+      if (got.size() == 4096) {
+        EXPECT_TRUE(got.pop(4096).matches_pattern(fd));
+        ++echoed;
+        (void)glib_c.nk_close(fd);
+      }
+    }
+  });
+
+  // Three waves of 16 concurrent connects: each wave inserts 16 flows into
+  // by_flow_ (client side) and mints 16 accept children into by_nsm_
+  // (server side) while the previous wave's entries are being erased.
+  constexpr int waves = 3;
+  constexpr int per_wave = 16;
+  for (int w = 0; w < waves; ++w) {
+    for (int i = 0; i < per_wave; ++i) {
+      const auto fd = glib_c.nk_socket().value();
+      ASSERT_TRUE(glib_c
+                      .nk_connect(fd,
+                                  {rig.server.module->config().address, 7000})
+                      .ok());
+    }
+    rig.bed.run_for(milliseconds(500));
+  }
+  rig.bed.run_for(seconds(2));
+
+  EXPECT_EQ(echoed, waves * per_wave);
+  EXPECT_EQ(rig.bed.netkernel(side::b).stats().accept_fds_minted,
+            static_cast<std::uint64_t>(waves * per_wave));
+  for (auto* ce : {&rig.bed.netkernel(side::a), &rig.bed.netkernel(side::b)}) {
+    for (const auto vm : ce->attached_vms()) {
+      auto* ch = ce->channel_of(vm);
+      EXPECT_EQ(ch->pool.chunks_free(), ch->pool.chunk_count());
+    }
+  }
+}
+
+// A four-shard rig: both hosts' engines run four independent shards.
+struct sharded_pair {
+  explicit sharded_pair(std::uint64_t seed = 11, std::size_t shards = 4)
+      : bed{[&] {
+          auto p = apps::datacenter_params(seed);
+          p.netkernel.shards = shards;
+          return p;
+        }()} {
+    nsm_config nsm_cfg;
+    nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+    virt::vm_config vm_cfg;
+    vm_cfg.name = "tenant-a";
+    client = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+    vm_cfg.name = "tenant-b";
+    nsm_cfg.name = "nsm-b";
+    server = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+  }
+
+  testbed bed;
+  apps::nk_tenant client;
+  apps::nk_tenant server;
+};
+
+TEST(netkernel_sharding, four_shards_carry_traffic_and_sum_to_aggregate) {
+  sharded_pair rig;
+  core_engine& ce = rig.bed.netkernel(side::a);
+  ASSERT_EQ(ce.shards(), 4u);
+
+  apps::bulk_sink sink{*rig.server.api, 7001, /*validate=*/true};
+  sink.start();
+  apps::bulk_sender_config cfg;
+  cfg.flows = 8;  // eight fds hash across the four shards
+  cfg.bytes_per_flow = 512 * 1024;
+  apps::bulk_sender sender{*rig.client.api,
+                           {rig.server.module->config().address, 7001}, cfg};
+  sender.start();
+  rig.bed.run_for(seconds(5));
+
+  // The workload is unaffected by sharding.
+  EXPECT_EQ(sink.total_bytes(), 8u * 512 * 1024);
+  EXPECT_TRUE(sink.pattern_ok());
+  EXPECT_EQ(sender.flows_done(), 8);
+
+  // The aggregate is exactly the sum of the shard partitions, and the
+  // steering hash spread eight flows over more than one shard.
+  for (auto* eng : {&ce, &rig.bed.netkernel(side::b)}) {
+    core_engine_stats sum;
+    std::size_t busy = 0;
+    for (std::size_t s = 0; s < eng->shards(); ++s) {
+      const auto& st = eng->shard_stats(s);
+      sum.nqes_forwarded += st.nqes_forwarded;
+      sum.accept_fds_minted += st.accept_fds_minted;
+      sum.mappings_installed += st.mappings_installed;
+      sum.mappings_removed += st.mappings_removed;
+      if (st.nqes_forwarded > 0) ++busy;
+    }
+    const auto agg = eng->stats();
+    EXPECT_EQ(sum.nqes_forwarded, agg.nqes_forwarded);
+    EXPECT_EQ(sum.accept_fds_minted, agg.accept_fds_minted);
+    EXPECT_EQ(sum.mappings_installed, agg.mappings_installed);
+    EXPECT_GE(busy, 2u);
+    // Per-shard gauges materialize only in sharded mode, and agree with the
+    // partition they mirror.
+    const auto g0 =
+        eng->metrics().value_of("engine_shard0_nqes_forwarded");
+    ASSERT_TRUE(g0.has_value());
+    EXPECT_EQ(static_cast<std::uint64_t>(*g0),
+              eng->shard_stats(0).nqes_forwarded);
+  }
+}
+
+TEST(netkernel_sharding, rebalance_rehomes_quiescent_vm_and_traffic_survives) {
+  sharded_pair rig;
+  core_engine& ce = rig.bed.netkernel(side::a);
+  auto& glib_s = *rig.server.glib;
+  auto& glib_c = *rig.client.glib;
+
+  const auto lfd = glib_s.nk_socket().value();
+  ASSERT_TRUE(glib_s.nk_bind(lfd, 7000).ok());
+  ASSERT_TRUE(glib_s.nk_listen(lfd).ok());
+  std::uint32_t sconn = 0;
+  glib_s.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                               errc) {
+    if (fd == lfd && t == stack::socket_event_type::accept_ready) {
+      sconn = glib_s.nk_accept(lfd).value();
+    } else if (fd == sconn && t == stack::socket_event_type::readable) {
+      while (auto r = glib_s.nk_recv(sconn, 1 << 20)) {
+        (void)glib_s.nk_send(sconn, std::move(r).value());
+      }
+    }
+  });
+
+  std::vector<std::uint32_t> fds;
+  for (int i = 0; i < 4; ++i) fds.push_back(glib_c.nk_socket().value());
+  buffer_chain echoed;
+  glib_c.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                               errc) {
+    if (t == stack::socket_event_type::readable) {
+      while (auto r = glib_c.nk_recv(fd, 1 << 20)) {
+        echoed.append(std::move(r).value());
+      }
+    }
+  });
+  ASSERT_TRUE(glib_c
+                  .nk_connect(fds[0],
+                              {rig.server.module->config().address, 7000})
+                  .ok());
+  rig.bed.run_for(milliseconds(100));
+
+  // Fresh sockets home on their steering hash.
+  const auto vm = rig.client.vm->id();
+  std::size_t away_from_1 = 0;
+  for (const auto fd : fds) {
+    const auto home = ce.shard_of(vm, fd);
+    ASSERT_TRUE(home.has_value());
+    EXPECT_EQ(*home, shm::flow_shard(vm, fd, ce.shards()));
+    if (*home != 1) ++away_from_1;
+  }
+  ASSERT_GT(away_from_1, 0u);
+
+  // Quiescent now — re-home everything onto shard 1 (flows already living
+  // there are not re-moved).
+  const std::size_t moved = ce.rebalance_vm(vm, 1);
+  EXPECT_EQ(moved, away_from_1);
+  for (const auto fd : fds) {
+    EXPECT_EQ(ce.shard_of(vm, fd).value_or(99), 1u);
+  }
+  EXPECT_EQ(ce.metrics().value_of("shard_rebalances").value_or(0.0),
+            static_cast<double>(moved));
+
+  // The connected flow still works end to end on its new home shard.
+  ASSERT_TRUE(glib_c.nk_send(fds[0], buffer::pattern(50000, 3)).ok());
+  rig.bed.run_for(seconds(1));
+  ASSERT_EQ(echoed.size(), 50000u);
+  EXPECT_TRUE(echoed.pop(50000).matches_pattern(3));
+
+  // Rebalancing an unknown VM, or to an out-of-range shard, moves nothing.
+  EXPECT_EQ(ce.rebalance_vm(9999, 1), 0u);
+  EXPECT_EQ(ce.rebalance_vm(vm, 17), 0u);
+}
+
+TEST(netkernel_sharding, detach_vm_scrubs_every_shard) {
+  sharded_pair rig;
+  core_engine& ce = rig.bed.netkernel(side::a);
+
+  // Open enough sockets that every shard owns at least one mapping, with a
+  // connect left permanently in flight (work parked in rings and stages).
+  auto& glib = *rig.client.glib;
+  std::vector<std::uint32_t> fds;
+  for (int i = 0; i < 16; ++i) fds.push_back(glib.nk_socket().value());
+  rig.bed.run_for(milliseconds(20));
+  (void)glib.nk_connect(fds[0], {rig.bed.next_address(side::b), 7000});
+
+  const auto vm = rig.client.vm->id();
+  auto* ch = ce.channel_of(vm);
+  ASSERT_NE(ch, nullptr);
+  EXPECT_EQ(ch->shards(), 4u);
+
+  ce.detach_vm(vm);
+  rig.bed.run_for(milliseconds(10));
+
+  EXPECT_EQ(ce.channel_of(vm), nullptr);
+  for (const auto fd : fds) {
+    EXPECT_FALSE(ce.shard_of(vm, fd).has_value());
+  }
+  // Every chunk came home from every lane and stage of every shard.
+  EXPECT_EQ(ch->pool.chunks_free(), ch->pool.chunk_count());
+}
+
+TEST(netkernel_sharding, failover_replays_flows_within_owning_shards) {
+  auto params = apps::datacenter_params(13);
+  params.netkernel.shards = 4;
+  params.netkernel.trace.enabled = true;
+  params.netkernel.trace.sample_rate = 1.0;
+  params.netkernel.trace.max_active = 1 << 16;
+  params.netkernel.trace.max_spans = 1 << 17;
+  testbed bed{params};
+  nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "client";
+  auto client = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "server";
+  nsm_cfg.name = "nsm-b";
+  auto server = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+
+  auto& gs = *server.glib;
+  const auto lfd = gs.nk_socket().value();
+  ASSERT_TRUE(gs.nk_bind(lfd, 7000).ok());
+  ASSERT_TRUE(gs.nk_listen(lfd).ok());
+  gs.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                           errc) {
+    if (fd == lfd && t == stack::socket_event_type::accept_ready) {
+      while (gs.nk_accept(lfd).ok()) {
+      }
+    }
+  });
+
+  auto& gc = *client.glib;
+  std::vector<std::uint32_t> fds;
+  int connected = 0;
+  int reset = 0;
+  gc.set_event_handler([&](std::uint32_t, stack::socket_event_type t,
+                           errc e) {
+    if (t == stack::socket_event_type::connected) ++connected;
+    if (t == stack::socket_event_type::error && e == errc::nsm_reset) ++reset;
+  });
+  for (int i = 0; i < 4; ++i) {
+    const auto fd = gc.nk_socket().value();
+    fds.push_back(fd);
+    ASSERT_TRUE(
+        gc.nk_connect(fd, {server.module->config().address, 7000}).ok());
+  }
+  bed.run_for(milliseconds(100));
+  ASSERT_EQ(connected, 4);
+
+  // Remember each flow's home shard, then crash and replace the client-side
+  // NSM. Established TCP flows die with the stack (nsm_reset toward the
+  // guest); the mapping table keeps its steering across the epoch bump.
+  core_engine& ce = bed.netkernel(side::a);
+  const auto vm = client.vm->id();
+  std::vector<std::size_t> homes;
+  for (const auto fd : fds) homes.push_back(ce.shard_of(vm, fd).value());
+
+  const nsm_id dead = client.module->id();
+  ce.service_of(dead)->fail();
+  nsm_config fresh_cfg = client.module->config();
+  fresh_cfg.name = "nsm-a2";
+  fresh_cfg.form = nsm_form::container;  // 60 ms boot, not the VM's 900 ms
+  ce.replace_nsm(dead, fresh_cfg);
+  bed.run_for(milliseconds(200));  // boot + switchover + error delivery
+
+  EXPECT_EQ(reset, 4);
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    // Doomed flows were scrubbed from exactly their owning shard...
+    EXPECT_FALSE(ce.shard_of(vm, fds[i]).has_value()) << "fd " << fds[i];
+  }
+
+  // ...and a brand-new connect through the replacement module works.
+  const auto fd2 = gc.nk_socket().value();
+  ASSERT_TRUE(
+      gc.nk_connect(fd2, {server.module->config().address, 7000}).ok());
+  bed.run_for(milliseconds(100));
+  EXPECT_EQ(connected, 5);
+
+  // Per-shard drop accounting stayed consistent through the failover: every
+  // engine-side discard (unroutable, capped, stale) retired a live trace in
+  // the shard that discarded it.
+#ifndef NK_NO_TRACING
+  for (std::size_t s = 0; s < ce.shards(); ++s) {
+    const auto& st = ce.shard_stats(s);
+    EXPECT_EQ(st.unroutable_nqes + st.nqes_dropped + st.stale_nqes,
+              ce.shard_traces_dropped(s))
+        << "shard " << s;
+  }
+#endif
+}
+
 }  // namespace
 }  // namespace nk::core

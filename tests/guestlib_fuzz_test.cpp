@@ -112,8 +112,8 @@ TEST_P(guestlib_fuzz, random_op_sequences_hold_invariants) {
   ASSERT_NE(ch, nullptr);
   EXPECT_EQ(ch->pool.chunks_free(), ch->pool.chunk_count());
   // Invariant: the channel queues drained (nothing wedged).
-  EXPECT_TRUE(ch->vm_q.job.empty_approx());
-  EXPECT_TRUE(ch->nsm_q.job.empty_approx());
+  EXPECT_EQ(ch->vm_job_depth(), 0u);
+  EXPECT_EQ(ch->nsm_job_depth(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(seeds, guestlib_fuzz,

@@ -90,7 +90,7 @@ TEST(health_monitor, stalled_channel_detected) {
   shm::nqe junk;
   junk.op = shm::nqe_op::req_send;
   junk.handle = 424242;
-  ASSERT_TRUE(ch->vm_q.job.push(junk));  // no doorbell rung
+  ASSERT_TRUE(ch->vm_q().job.push(junk));  // no doorbell rung
 
   monitor_config mcfg;
   mcfg.interval = milliseconds(5);

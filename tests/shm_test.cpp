@@ -3,12 +3,17 @@
 // isolation, and the prioritized queue set.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
+#include <span>
 #include <thread>
+#include <vector>
 
 #include "shm/hugepage_pool.hpp"
 #include "shm/nqe.hpp"
 #include "shm/queue_set.hpp"
 #include "shm/spsc_ring.hpp"
+#include "shm/steering.hpp"
 
 namespace nk::shm {
 namespace {
@@ -258,6 +263,98 @@ TEST(nqe, only_pure_data_is_droppable_on_overflow) {
   EXPECT_FALSE(droppable_on_overflow(nqe_op::ev_accept));
   EXPECT_FALSE(droppable_on_overflow(nqe_op::ev_closed));
   EXPECT_FALSE(droppable_on_overflow(nqe_op::req_close));
+}
+
+// Batch API under real concurrency: a tiny ring (16 slots, ~4 bits of
+// index) makes the free-running counters wrap every few microseconds and
+// keeps the producer's tail_cache_ / consumer's head_cache_ permanently
+// stale, so every push/pop round trips through the refresh path. Mixed
+// batch sizes hit the partial-batch branches. Run under ASan and TSan by
+// the CI smoke lanes.
+TEST(spsc_ring, two_thread_batch_stress_wraps_and_refreshes_caches) {
+  spsc_ring<std::uint64_t> ring{16};
+  constexpr std::uint64_t count = 200'000;
+
+  // Yield instead of hard-spinning on a full/empty ring: on a single-CPU
+  // host the peer can't run until this thread gives up its quantum, and a
+  // 16-slot ring moves at most 16 items per quantum otherwise.
+  std::thread producer{[&] {
+    std::uint64_t next = 0;
+    std::uint64_t batch[7];
+    while (next < count) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(1 + next % 7, count - next));
+      for (std::size_t i = 0; i < want; ++i) batch[i] = next + i;
+      const std::size_t pushed =
+          ring.push_batch(std::span<const std::uint64_t>{batch, want});
+      next += pushed;
+      if (pushed == 0) std::this_thread::yield();
+    }
+  }};
+
+  std::uint64_t expected = 0;
+  std::uint64_t out[5];
+  while (expected < count) {
+    const std::size_t want =
+        static_cast<std::size_t>(1 + expected % 5);
+    const std::size_t got = ring.pop_batch(std::span<std::uint64_t>{out, want});
+    if (got == 0) std::this_thread::yield();
+    for (std::size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(out[i], expected);
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty_approx());
+
+  // The 16-slot ring wrapped its index space thousands of times.
+  EXPECT_GT(count / ring.capacity(), 10'000u);
+}
+
+// The steering mixer must spread tiny sequential keys evenly. libstdc++'s
+// std::hash<uint64_t> is the identity — fd 0..N-1 under `% shards` would
+// land consecutively and any stride-aligned workload collapses onto a few
+// shards. splitmix64's finalizer full-avalanches, so both per-bit balance
+// and modulo distribution hold for the keys we actually produce.
+TEST(flow_steering, mixer_avalanches_and_balances_sequential_keys) {
+  // Avalanche: flipping any single input bit flips ~half the output bits.
+  for (int bit = 0; bit < 64; ++bit) {
+    int flipped = 0;
+    for (std::uint64_t x = 0; x < 64; ++x) {
+      const std::uint64_t base = x * 0x0123456789abcdefULL;
+      flipped += std::popcount(mix64(base) ^ mix64(base ^ (1ULL << bit)));
+    }
+    const double avg = flipped / 64.0;
+    EXPECT_GT(avg, 24.0) << "weak diffusion from input bit " << bit;
+    EXPECT_LT(avg, 40.0) << "weak diffusion from input bit " << bit;
+  }
+
+  // Shard balance: sequential fds for a handful of VM ids, and sequential
+  // cids for one NSM — the shapes GuestLib and ServiceLib actually emit.
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    std::vector<std::size_t> per_shard(shards, 0);
+    std::size_t total = 0;
+    for (std::uint32_t vm = 1; vm <= 4; ++vm) {
+      for (std::uint32_t fd = 0; fd < 1024; ++fd) {
+        ++per_shard[flow_shard(vm, fd, shards)];
+        ++total;
+      }
+    }
+    for (std::uint32_t cid = 1; cid <= 4096; ++cid) {
+      ++per_shard[nsm_shard(7, cid, shards)];
+      ++total;
+    }
+    const double fair = static_cast<double>(total) / shards;
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_GT(per_shard[s], fair * 0.85) << shards << " shards, shard " << s;
+      EXPECT_LT(per_shard[s], fair * 1.15) << shards << " shards, shard " << s;
+    }
+  }
+
+  // Degenerate counts: everything homes on shard 0.
+  EXPECT_EQ(flow_shard(9, 1234, 1), 0u);
+  EXPECT_EQ(flow_shard(9, 1234, 0), 0u);
+  EXPECT_EQ(nsm_shard(3, 99, 1), 0u);
 }
 
 TEST(hugepage_pool, exhaustion_toggle_fails_allocs_and_counts) {

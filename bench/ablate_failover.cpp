@@ -37,7 +37,9 @@ struct outcome {
   double stale = 0;          // dead-incarnation nqes discarded, both hosts
   double dropped = 0;
   double unroutable = 0;
+  double rejected = 0;       // refused by the admission firewall
   double traced_drops = 0;
+  double untraced_discards = 0;  // discards carrying no live trace id
   std::size_t chunks_total = 0;
   std::size_t chunks_free = 0;
 };
@@ -144,7 +146,10 @@ outcome run(core::nsm_form form, std::uint64_t seed) {
     out.stale += m.value_of("engine_stale_nqes").value_or(0.0);
     out.dropped += m.value_of("engine_nqes_dropped").value_or(0.0);
     out.unroutable += m.value_of("engine_unroutable_nqes").value_or(0.0);
+    out.rejected += m.value_of("engine_nqes_rejected").value_or(0.0);
     out.traced_drops += m.value_of("nqe_traces_dropped").value_or(0.0);
+    out.untraced_discards +=
+        m.value_of("engine_discards_untraced").value_or(0.0);
     for (const auto vm : engine->attached_vms()) {
       auto* ch = engine->channel_of(vm);
       out.chunks_total += ch->pool.chunk_count();
@@ -179,8 +184,9 @@ int main(int argc, char** argv) {
     const outcome o = run(form, 1000 + static_cast<std::uint64_t>(form));
     const auto leaked = static_cast<long long>(o.chunks_total) -
                         static_cast<long long>(o.chunks_free);
-    const double unaccounted =
-        o.unroutable + o.dropped + o.stale - o.traced_drops;
+    const double unaccounted = o.unroutable + o.dropped + o.stale +
+                               o.rejected - o.traced_drops -
+                               o.untraced_discards;
     std::printf("%-18s %7.2f ms %9.2f ms %9.2f ms %6.0f %6.0f %8.0f %8lld %12.0f\n",
                 std::string{core::to_string(form)}.c_str(), o.detect_ms,
                 o.failover_ms, o.recovery_ms, o.recovered, o.aborted, o.stale,

@@ -47,7 +47,9 @@ struct outcome {
   double stale = 0;
   double dropped = 0;
   double unroutable = 0;
+  double rejected = 0;
   double traced_drops = 0;
+  double untraced_discards = 0;
   std::size_t chunks_total = 0;
   std::size_t chunks_free = 0;
 };
@@ -183,7 +185,10 @@ outcome run(bool smoke, std::uint64_t seed) {
     out.stale += m.value_of("engine_stale_nqes").value_or(0.0);
     out.dropped += m.value_of("engine_nqes_dropped").value_or(0.0);
     out.unroutable += m.value_of("engine_unroutable_nqes").value_or(0.0);
+    out.rejected += m.value_of("engine_nqes_rejected").value_or(0.0);
     out.traced_drops += m.value_of("nqe_traces_dropped").value_or(0.0);
+    out.untraced_discards +=
+        m.value_of("engine_discards_untraced").value_or(0.0);
     for (const auto vm : engine->attached_vms()) {
       auto* ch = engine->channel_of(vm);
       out.chunks_total += ch->pool.chunk_count();
@@ -206,8 +211,8 @@ int main(int argc, char** argv) {
   const outcome o = run(smoke, smoke ? 42 : 4242);
   const auto leaked = static_cast<long long>(o.chunks_total) -
                       static_cast<long long>(o.chunks_free);
-  const double unaccounted =
-      o.unroutable + o.dropped + o.stale - o.traced_drops;
+  const double unaccounted = o.unroutable + o.dropped + o.stale + o.rejected -
+                             o.traced_drops - o.untraced_discards;
 
   std::printf("flows introspected      %zu\n", o.flows_seen);
   std::printf("join consistent         %s\n", o.join_consistent ? "yes" : "NO");

@@ -208,8 +208,11 @@ stress_outcome run_shard_backpressure() {
   for (auto* ce : {&bed.netkernel(side::a), &bed.netkernel(side::b)}) {
     for (std::size_t s = 0; s < ce->shards(); ++s) {
       const auto& st = ce->shard_stats(s);
-      const auto traced = ce->shard_traces_dropped(s);
-      if (st.unroutable_nqes + st.nqes_dropped + st.stale_nqes != traced) {
+      const auto traced =
+          ce->shard_traces_dropped(s) + ce->shard_discards_untraced(s);
+      if (st.unroutable_nqes + st.nqes_dropped + st.stale_nqes +
+              st.rejected_nqes !=
+          traced) {
         out.per_shard_invariant = false;
       }
       out.dropped += st.nqes_dropped;
@@ -221,8 +224,10 @@ stress_outcome run_shard_backpressure() {
     const auto& m = ce->metrics();
     losses += m.value_of("engine_unroutable_nqes").value_or(0.0) +
               m.value_of("engine_nqes_dropped").value_or(0.0) +
-              m.value_of("engine_stale_nqes").value_or(0.0);
-    trace_drops += m.value_of("nqe_traces_dropped").value_or(0.0);
+              m.value_of("engine_stale_nqes").value_or(0.0) +
+              m.value_of("engine_nqes_rejected").value_or(0.0);
+    trace_drops += m.value_of("nqe_traces_dropped").value_or(0.0) +
+                   m.value_of("engine_discards_untraced").value_or(0.0);
     for (const auto vm : ce->attached_vms()) {
       auto* ch = ce->channel_of(vm);
       out.leaked += static_cast<long long>(ch->pool.chunk_count()) -

@@ -117,6 +117,50 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
     }
     return d;
   });
+  // Admission-firewall accounting (DESIGN.md §14): total rejections, the
+  // per-reason split, the untraced-discard half of the drop invariant, and
+  // the engine-side pool-key isolation check.
+  metrics_.register_gauge_fn("engine_nqes_rejected", [this] {
+    return static_cast<double>(stats().rejected_nqes);
+  });
+  static constexpr std::array<const char*, 4> reject_names{
+      "badop", "badfd", "badchunk", "badepoch"};
+  for (std::size_t r = 0; r < reject_names.size(); ++r) {
+    metrics_.register_gauge_fn(
+        std::string("engine_nqes_rejected_") + reject_names[r], [this, r] {
+          std::uint64_t n = 0;
+          for (const auto& sh : shards_) n += sh.rejected_reason[r];
+          return static_cast<double>(n);
+        });
+  }
+  metrics_.register_gauge_fn("engine_discards_untraced", [this] {
+    std::uint64_t n = 0;
+    for (const auto& sh : shards_) n += sh.discards_untraced;
+    return static_cast<double>(n);
+  });
+  metrics_.register_gauge_fn("engine_chunk_key_mismatch", [this] {
+    std::uint64_t n = 0;
+    for (const auto& sh : shards_) n += sh.chunk_key_mismatch;
+    for (const auto& [id, svc] : services_) {
+      n += svc->stats().chunk_key_mismatch;
+    }
+    for (const auto& svc : retired_services_) {
+      n += svc->stats().chunk_key_mismatch;
+    }
+    return static_cast<double>(n);
+  });
+  // Defended frees across every attached (and retired) VM's pool: forged
+  // double-free / free-of-unowned descriptors the pool refused to apply.
+  metrics_.register_gauge_fn("engine_pool_bad_frees", [this] {
+    std::uint64_t n = 0;
+    for (const auto& [vm, att] : attachments_) {
+      if (att.ch) n += att.ch->pool.bad_frees();
+    }
+    for (const auto& att : retired_attachments_) {
+      if (att.ch) n += att.ch->pool.bad_frees();
+    }
+    return static_cast<double>(n);
+  });
   metrics_.register_gauge_fn("engine_ops_timed_out", [this] {
     double d = 0.0;
     for (const auto& [vm, att] : attachments_) {
@@ -158,8 +202,14 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
       metrics_.register_gauge_fn(p + "_stale_nqes", [this, s] {
         return static_cast<double>(shards_[s].stats.stale_nqes);
       });
+      metrics_.register_gauge_fn(p + "_nqes_rejected", [this, s] {
+        return static_cast<double>(shards_[s].stats.rejected_nqes);
+      });
       metrics_.register_gauge_fn(p + "_traces_dropped", [this, s] {
         return static_cast<double>(shards_[s].traces_dropped);
+      });
+      metrics_.register_gauge_fn(p + "_discards_untraced", [this, s] {
+        return static_cast<double>(shards_[s].discards_untraced);
       });
       if (shards_[s].core != nullptr) {
         metrics_.register_gauge_fn(p + "_core_utilization",
@@ -198,6 +248,7 @@ core_engine_stats core_engine::stats() const {
     s.nqes_deferred += sh.stats.nqes_deferred;
     s.nqes_dropped += sh.stats.nqes_dropped;
     s.stale_nqes += sh.stats.stale_nqes;
+    s.rejected_nqes += sh.stats.rejected_nqes;
   }
   return s;
 }
@@ -396,7 +447,32 @@ guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
     return static_cast<double>(service->staged_depth(id));
   });
 
+  // Abuse record + firewall gauges. Heap-allocated like the overflow
+  // stages, so the closures stay valid across rehashes of attachments_.
+  att.abuse = std::make_unique<abuse_state>(make_violation_budget());
+  abuse_state* ab = att.abuse.get();
+  metrics_.register_gauge_fn(p + "_nqes_rejected", [ab] {
+    return static_cast<double>(ab->rejected);
+  });
+  metrics_.register_gauge_fn(p + "_abuse_level", [ab] {
+    return static_cast<double>(static_cast<int>(ab->level));
+  });
+  metrics_.register_gauge_fn(p + "_pool_bad_frees", [ch] {
+    return static_cast<double>(ch->pool.bad_frees());
+  });
+
   auto [it, inserted] = attachments_.emplace(vm.id(), std::move(att));
+  // A VM re-attaching under an active quarantine comes up barred: its job
+  // lanes refuse to drain until probation expires (auto-readmit below) or
+  // readmit_vm() paroles it early.
+  if (const quarantine_record* q = active_quarantine(vm.id())) {
+    it->second.abuse->level = abuse_level::quarantined;
+    log_info("core_engine: vm ", vm.id(), " attached under quarantine");
+    if (q->readmit_at != sim_time::zero()) {
+      sim_.schedule_at(q->readmit_at,
+                       [this, id = vm.id()] { (void)readmit_vm(id); });
+    }
+  }
   log_info("core_engine: attached vm ", vm.id(), " (", vm.name(),
            ") to nsm ", module.id(), " across ", shards_.size(),
            shards_.size() == 1 ? " shard" : " shards");
@@ -467,6 +543,41 @@ std::size_t core_engine::flush_stage_to_vm(attachment& att, std::size_t s) {
 
 std::size_t core_engine::drain_vm_jobs(attachment& att, std::size_t s) {
   NK_PROF("core_engine", "pump_fwd");
+  abuse_state* ab = cfg_.firewall.enabled ? att.abuse.get() : nullptr;
+  std::size_t batch = drain_batch;
+  if (ab != nullptr) {
+    if (ab->level == abuse_level::quarantined) return 0;
+    // De-escalation: a violation budget back at full burst means the
+    // tenant has behaved for a while — clear the warn/throttle standing.
+    if (ab->level != abuse_level::ok &&
+        ab->budget.tokens_at(sim_.now()) >=
+            static_cast<double>(ab->budget.burst())) {
+      ab->level = abuse_level::ok;
+      ab->throttled_violations = 0;
+    }
+    if (ab->level == abuse_level::throttled) {
+      const sim_time now = sim_.now();
+      if (now < ab->next_drain) {
+        // Deprioritized, not stopped: one wake timer per VM re-rings every
+        // job lane when the next drain window opens, so a throttled tenant
+        // keeps limping even under batched-interrupt notification.
+        if (!ab->throttle_wake_pending) {
+          ab->throttle_wake_pending = true;
+          sim_.schedule_at(ab->next_drain, [this, id = att.vm->id()] {
+            auto wit = attachments_.find(id);
+            if (wit == attachments_.end()) return;
+            if (wit->second.abuse) {
+              wit->second.abuse->throttle_wake_pending = false;
+            }
+            for (auto& ln : wit->second.lanes) ln.vm_to_nsm->notify();
+          });
+        }
+        return 0;
+      }
+      ab->next_drain = now + cfg_.firewall.throttle_period;
+      batch = cfg_.firewall.throttle_batch;
+    }
+  }
   // Overflowed nqes first: they are older than anything still in the ring.
   std::size_t n = flush_stage_to_nsm(att, s);
   shm::nqe e;
@@ -477,7 +588,7 @@ std::size_t core_engine::drain_vm_jobs(attachment& att, std::size_t s) {
   // then fills and GuestLib's would_block machinery pushes back on the app.
   // Likewise once the shard core's copy backlog passes the bound: further
   // pops would just park nqes in its infinite FIFO, hiding the pressure.
-  while (n < drain_batch &&
+  while (n < batch &&
          att.lanes[s].stage->to_nsm.size() < cfg_.overflow_limit) {
     if (core != nullptr && core->backlog() > pump_backlog_bound) {
       gated = true;
@@ -487,6 +598,16 @@ std::size_t core_engine::drain_vm_jobs(attachment& att, std::size_t s) {
     ++n;
     ++popped;
     att.ch->count_vm_to_nsm(s);
+    // Admission firewall (DESIGN.md §14): nothing popped from a
+    // guest-writable ring is trusted. fd ownership is checked downstream
+    // in forward_to_nsm, after same-batch creations install their mappings.
+    if (ab != nullptr) {
+      if (const auto r = admit_vm_nqe(att, e)) {
+        reject_nqe(att, s, e, *r);
+        if (ab->level == abuse_level::quarantined) break;
+        continue;
+      }
+    }
     tracer_.stamp(e.reserved, obs::nqe_stage::vm_job_dwell);
     // The copy between queue sets costs ~12 ns on this shard's core
     // (paper §4.2); translation happens in FIFO order on that core.
@@ -517,6 +638,14 @@ void core_engine::forward_to_nsm(attachment& att, std::size_t s, shm::nqe e) {
     // steered the request here by hashing <VM, fd>) that learns its cID
     // from cmp_socket.
     const auto fd = static_cast<std::uint32_t>(e.token);
+    // Exec-time fd gate: minting a socket over a live fd or inside the
+    // engine-owned accept range is a forgery. Pop-time validation cannot
+    // see this — mappings install asynchronously as the batch executes.
+    if (cfg_.firewall.enabled && att.abuse != nullptr &&
+        (fd >= accept_fd_base || shard_of(vm, fd).has_value())) {
+      reject_nqe(att, s, e, reject_reason::badfd);
+      return;
+    }
     flow_entry fl;
     fl.nsm = att.module->id();
     fl.udp = e.op == shm::nqe_op::req_udp_open;
@@ -532,6 +661,17 @@ void core_engine::forward_to_nsm(attachment& att, std::size_t s, shm::nqe e) {
   const auto fd = e.handle;
   auto it = sh.by_flow.find(flow_key{vm, fd});
   if (it == sh.by_flow.end()) {
+    // Two unknown-fd shapes are benign races, not forgeries, and keep the
+    // legacy unroutable accounting: a recv-window recycle whose flow just
+    // closed underneath it, and a close for a mapping the engine already
+    // erased (error teardown, failover abort). Every other fd-addressed op
+    // naming no flow of this VM is refused by the firewall.
+    const bool benign = e.op == shm::nqe_op::req_recv_window ||
+                        e.op == shm::nqe_op::req_close;
+    if (cfg_.firewall.enabled && att.abuse != nullptr && !benign) {
+      reject_nqe(att, s, e, reject_reason::badfd);
+      return;
+    }
     ++sh.stats.unroutable_nqes;
     drop_trace(sh, e.reserved);
     // A data-bearing request for an unknown flow still owns a huge-page
@@ -686,6 +826,16 @@ void core_engine::forward_to_vm(attachment& att, std::size_t s, shm::nqe e,
     discard_stale(att, s, e);
     return;
   }
+  if (!e.desc.empty() && e.desc.chunk.pool_key != att.ch->pool.key()) {
+    // The NSM side minted a descriptor into a pool that is not this
+    // channel's (satellite of DESIGN.md §14: pool-key isolation enforced at
+    // every engine-side dereference). Never dereference or free a foreign
+    // ref here — drop with accounting and count the isolation violation.
+    ++sh.chunk_key_mismatch;
+    ++sh.stats.nqes_dropped;
+    drop_trace(sh, e.reserved);
+    return;
+  }
   ++sh.stats.nqes_forwarded;
   const virt::vm_id vm = att.vm->id();
   const nsm_id module = att.module->id();
@@ -827,6 +977,176 @@ void core_engine::deliver_error_to_vm(attachment& att, std::size_t s,
   }
   att.ch->count_nsm_to_vm(s);
   if (att.glib) att.glib->notify();
+}
+
+// --- admission firewall + abuse quarantine (DESIGN.md §14) --------------------
+
+std::optional<reject_reason> core_engine::admit_vm_nqe(
+    const attachment& att, const shm::nqe& e) const {
+  // Role gate first: the guest-writable job rings may only carry requests.
+  if (!shm::guest_may_emit(e.op)) return reject_reason::badop;
+  // Identity forgery: the guest never stamps an epoch (the engine does, at
+  // delivery), always stamps its own VM id, and a creating op's correlation
+  // token must be exactly the fd it is minting (high bits clear).
+  if (e.epoch != 0 || e.owner != att.vm->id()) return reject_reason::badepoch;
+  const bool creating = e.op == shm::nqe_op::req_socket ||
+                        e.op == shm::nqe_op::req_udp_open;
+  if (creating && ((e.token >> 32) != 0 ||
+                   e.handle != static_cast<std::uint32_t>(e.token))) {
+    return reject_reason::badepoch;
+  }
+  // Descriptor gate, before any dereference: a data op must carry a
+  // descriptor this VM's own pool vouches for (own key, in-range index,
+  // live chunk, offset+length inside the chunk); every other op must carry
+  // none — a valid desc smuggled onto a control op is how a guest would
+  // trick a downstream free into recycling someone else's credit.
+  const bool data_op = e.op == shm::nqe_op::req_send ||
+                       e.op == shm::nqe_op::req_udp_send ||
+                       e.op == shm::nqe_op::req_recv_window;
+  if (data_op) {
+    if (e.desc.empty() || !att.ch->pool.readable(e.desc)) {
+      return reject_reason::badchunk;
+    }
+  } else if (!e.desc.empty()) {
+    return reject_reason::badchunk;
+  }
+  return std::nullopt;
+}
+
+void core_engine::reject_nqe(attachment& att, std::size_t s,
+                             const shm::nqe& e, reject_reason r) {
+  engine_shard& sh = shards_[s];
+  ++sh.stats.rejected_nqes;
+  ++sh.rejected_reason[static_cast<std::size_t>(r)];
+  if (att.abuse) ++att.abuse->rejected;
+  drop_trace(sh, e.reserved);
+  // A descriptor the pool vouches for still pins a chunk (a valid desc on
+  // the wrong op, or on a forged fd): recycle it or the pool leaks. An
+  // invalid descriptor is never freed — that free would itself be refused
+  // and counted as a pool_bad_free the guest did not commit.
+  if (!e.desc.empty() && att.ch->pool.readable(e.desc)) {
+    (void)att.ch->pool.free(e.desc.chunk);
+  }
+  // Surface the refusal while the tenant is in good standing: a buggy (not
+  // hostile) guest gets an addressable error. Escalated tenants get
+  // silence — error feedback would let an attacker meter the firewall, and
+  // it bounds the receive-lane growth a rejection storm can cause.
+  if (att.abuse == nullptr || att.abuse->level <= abuse_level::warn) {
+    deliver_error_to_vm(att, s, e.handle,
+                        r == reject_reason::badfd ? errc::not_found
+                                                  : errc::permission_denied);
+  }
+  record_violation(att);
+}
+
+void core_engine::record_violation(attachment& att) {
+  if (att.abuse == nullptr) return;
+  abuse_state& ab = *att.abuse;
+  ++ab.violations;
+  if (ab.level == abuse_level::quarantined) return;
+  const sim_time now = sim_.now();
+  if (ab.budget.try_consume(now, 1)) {
+    if (ab.level == abuse_level::ok) ab.level = abuse_level::warn;
+    return;
+  }
+  if (ab.level != abuse_level::throttled) {
+    ab.level = abuse_level::throttled;
+    ab.next_drain = now;
+    metrics_.get_counter("vms_throttled").inc();
+    recorder_.note(att.module->id(), 0,
+                   "vm " + std::to_string(att.vm->id()) +
+                       " throttled: violation budget dry",
+                   now);
+    log_info("core_engine: vm ", att.vm->id(),
+             " throttled (violation budget dry)");
+  }
+  if (++ab.throttled_violations >= cfg_.firewall.quarantine_threshold) {
+    ab.level = abuse_level::quarantined;
+    // Deferred: quarantine_vm detaches the VM, which would erase the
+    // attachment the caller is still iterating inside.
+    sim_.schedule(sim_time::zero(), [this, id = att.vm->id()] {
+      quarantine_vm(id, "violation budget exhausted");
+    });
+  }
+}
+
+void core_engine::quarantine_vm(virt::vm_id vm, std::string reason) {
+  auto it = attachments_.find(vm);
+  if (it == attachments_.end()) return;
+  attachment& att = it->second;
+  if (att.abuse) att.abuse->level = abuse_level::quarantined;
+  const sim_time now = sim_.now();
+  quarantine_record rec;
+  rec.vm = vm;
+  rec.module = att.module != nullptr ? att.module->id() : 0;
+  rec.at = now;
+  rec.readmit_at = cfg_.firewall.probation > sim_time::zero()
+                       ? now + cfg_.firewall.probation
+                       : sim_time::zero();
+  rec.reason = std::move(reason);
+  rec.violations = att.abuse ? att.abuse->violations : 0;
+  metrics_.get_counter("vms_quarantined").inc();
+  recorder_.note(rec.module, 0,
+                 "vm " + std::to_string(vm) + " quarantined: " + rec.reason,
+                 now);
+  log_info("core_engine: quarantined vm ", vm, " (", rec.reason, ")");
+  // Abort the guest's local state first: the detach scrub below recycles
+  // everything in rings, stages and mapping tables, but not the chunks
+  // GuestLib holds internally (receive buffers, deferred submissions) —
+  // those are freed guest-side here, with errors raised to the apps.
+  if (att.glib) att.glib->abort_all(errc::nsm_reset);
+  quarantine_log_.push_back(std::move(rec));
+  detach_vm(vm);
+}
+
+bool core_engine::readmit_vm(virt::vm_id vm) {
+  bool cleared = false;
+  for (auto& rec : quarantine_log_) {
+    if (rec.vm == vm && !rec.readmitted) {
+      rec.readmitted = true;
+      cleared = true;
+    }
+  }
+  if (!cleared) return false;
+  metrics_.get_counter("vms_readmitted").inc();
+  log_info("core_engine: readmitted vm ", vm);
+  if (auto it = attachments_.find(vm); it != attachments_.end()) {
+    attachment& att = it->second;
+    if (att.abuse) {
+      att.abuse->level = abuse_level::ok;
+      att.abuse->throttled_violations = 0;
+      att.abuse->budget = make_violation_budget();
+    }
+    for (auto& ln : att.lanes) ln.vm_to_nsm->notify();
+  }
+  return true;
+}
+
+const quarantine_record* core_engine::active_quarantine(virt::vm_id vm) const {
+  const sim_time now = sim_.now();
+  // The most recent record governs: scan backwards, and once it is found
+  // either active (permanent, or inside probation) or expired, stop.
+  for (auto rit = quarantine_log_.rbegin(); rit != quarantine_log_.rend();
+       ++rit) {
+    if (rit->vm != vm || rit->readmitted) continue;
+    if (rit->readmit_at == sim_time::zero() || now < rit->readmit_at) {
+      return &*rit;
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+bool core_engine::quarantined(virt::vm_id vm) const {
+  return active_quarantine(vm) != nullptr;
+}
+
+abuse_level core_engine::abuse_level_of(virt::vm_id vm) const {
+  auto it = attachments_.find(vm);
+  if (it == attachments_.end() || !it->second.abuse) {
+    return quarantined(vm) ? abuse_level::quarantined : abuse_level::ok;
+  }
+  return it->second.abuse->level;
 }
 
 void core_engine::detach_vm(virt::vm_id vm) {

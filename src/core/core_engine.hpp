@@ -22,16 +22,20 @@
 // degenerates to the paper's single-loop engine.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/token_bucket.hpp"
 #include "common/units.hpp"
 #include "core/channel.hpp"
 #include "core/costs.hpp"
@@ -49,6 +53,30 @@
 #include "virt/hypervisor.hpp"
 
 namespace nk::core {
+
+// Admission firewall + per-VM abuse policy (DESIGN.md §14). The rings and
+// huge pages are guest-writable, so nothing a VM queue yields is trusted:
+// every popped nqe is validated before dispatch, and validation failures
+// feed a per-VM token-bucket violation budget that escalates
+// warn -> throttle -> quarantine.
+struct firewall_config {
+  bool enabled = true;
+  // Violation budget: refill rate (violations/sec) and burst depth. While
+  // the bucket has tokens a violation only costs a token (warn); once it
+  // runs dry the VM is throttled, and `quarantine_threshold` further
+  // violations while throttled quarantine it.
+  double violations_per_sec = 100.0;
+  std::uint64_t violation_burst = 64;
+  std::uint64_t quarantine_threshold = 256;
+  // Throttled VMs drain at most `throttle_batch` job nqes per
+  // `throttle_period` per shard — the lane pump is deprioritized, not
+  // stopped, so a tenant that merely glitched keeps limping.
+  sim_time throttle_period = microseconds(100);
+  std::size_t throttle_batch = 8;
+  // Probation: how long a quarantined VM stays barred from re-attachment.
+  // zero() means quarantine is permanent until readmit_vm() is called.
+  sim_time probation = milliseconds(100);
+};
 
 struct core_engine_config {
   netkernel_costs costs{};
@@ -72,6 +100,8 @@ struct core_engine_config {
   // allocates another core from the host pool (nullptr-tolerant: with the
   // pool exhausted the shard forwards at zero modeled cost).
   std::size_t shards = 1;
+  // Hostile-tenant hardening at the guest/provider boundary.
+  firewall_config firewall{};
 };
 
 struct core_engine_stats {
@@ -83,6 +113,51 @@ struct core_engine_stats {
   std::uint64_t nqes_deferred = 0;  // staged on a full ring, delivered later
   std::uint64_t nqes_dropped = 0;   // discarded at the cap (chunks recycled)
   std::uint64_t stale_nqes = 0;     // discarded: from a retired incarnation
+  std::uint64_t rejected_nqes = 0;  // refused by the admission firewall
+};
+
+// Why the admission firewall refused an nqe (indexes the per-shard and the
+// engine_nqes_rejected_{badop,badfd,badchunk,badepoch} counters).
+enum class reject_reason : std::uint8_t {
+  badop = 0,     // role violation: a guest may only emit req_* opcodes
+  badfd = 1,     // handle maps to no fd this VM owns (or forges one it can't)
+  badchunk = 2,  // desc fails pool-key/bounds/length checks, or is misplaced
+  badepoch = 3,  // epoch, owner or correlation-token forgery
+};
+
+[[nodiscard]] constexpr std::string_view to_string(reject_reason r) {
+  switch (r) {
+    case reject_reason::badop: return "badop";
+    case reject_reason::badfd: return "badfd";
+    case reject_reason::badchunk: return "badchunk";
+    case reject_reason::badepoch: return "badepoch";
+  }
+  return "unknown";
+}
+
+// Escalation ladder for a VM's violation record (DESIGN.md §14). ok/warn
+// are full service; throttled caps the VM's job-drain rate per shard;
+// quarantined detaches it.
+enum class abuse_level : std::uint8_t {
+  ok = 0,
+  warn = 1,
+  throttled = 2,
+  quarantined = 3,
+};
+
+// One quarantine decision, appended to core_engine::quarantine_log().
+// health_monitor turns new entries into vm_quarantined alerts with a
+// flight-recorder snapshot.
+struct quarantine_record {
+  virt::vm_id vm = 0;
+  nsm_id module = 0;
+  sim_time at{};
+  // When probation ends and the VM may attach again. zero(): permanent
+  // until readmit_vm().
+  sim_time readmit_at{};
+  std::string reason;
+  std::uint64_t violations = 0;  // lifetime violations at quarantine time
+  bool readmitted = false;       // cleared early via readmit_vm()
 };
 
 class guest_lib;
@@ -132,6 +207,34 @@ class core_engine {
   nsm& replace_nsm(nsm_id failed_id, const nsm_config& cfg,
                    replace_mode mode = replace_mode::unplanned);
 
+  // --- abuse quarantine (hostile-tenant hardening, DESIGN.md §14) -------------
+  //
+  // Forcibly detaches a VM that exhausted its violation budget (or that an
+  // operator condemns): its flows are aborted toward the guest with
+  // errc::nsm_reset-style errors, every chunk it still references is
+  // recycled through the detach_vm scrub path, a quarantine_record is
+  // appended for the health monitor, and `vms_quarantined` increments.
+  // While the quarantine is active (until `readmit_at`, or forever when
+  // probation is zero) a re-attach comes up quarantined: attached but with
+  // its job lanes refused until probation expires or readmit_vm() clears it.
+  void quarantine_vm(virt::vm_id vm, std::string reason = "operator request");
+
+  // Clears every active quarantine of `vm` (early parole). If the VM is
+  // attached its abuse level resets to ok with a full violation budget.
+  // Returns false when no active quarantine existed.
+  bool readmit_vm(virt::vm_id vm);
+
+  // True while the VM has an active quarantine record (not readmitted, and
+  // its probation — when finite — has not expired).
+  [[nodiscard]] bool quarantined(virt::vm_id vm) const;
+
+  [[nodiscard]] const std::vector<quarantine_record>& quarantine_log() const {
+    return quarantine_log_;
+  }
+
+  // Current escalation level (abuse_level::ok for unknown/detached VMs).
+  [[nodiscard]] abuse_level abuse_level_of(virt::vm_id vm) const;
+
   [[nodiscard]] nsm* nsm_by_id(nsm_id id);
   [[nodiscard]] service_lib* service_of(nsm_id id);
   [[nodiscard]] guest_lib* guestlib_of(virt::vm_id vm);
@@ -169,11 +272,30 @@ class core_engine {
     return shards_[s].stats;
   }
   // Live traces this shard retired via tracer drop() — the shard-local
-  // slice of the global nqe_traces_dropped counter. At sample_rate 1.0,
-  // shard_stats(s).unroutable + .dropped + .stale == shard_traces_dropped(s)
-  // whenever every engine-side discard carried a live trace.
+  // slice of the global nqe_traces_dropped counter. Discards whose nqe
+  // carried no live trace (hostile injections arrive with reserved=0, and
+  // sampled-out nqes at sample_rate < 1.0) land in
+  // shard_discards_untraced(s) instead, so the per-shard invariant is exact
+  // at every sample rate:
+  //   unroutable + dropped + stale + rejected
+  //     == shard_traces_dropped(s) + shard_discards_untraced(s).
   [[nodiscard]] std::uint64_t shard_traces_dropped(std::size_t s) const {
     return shards_[s].traces_dropped;
+  }
+  [[nodiscard]] std::uint64_t shard_discards_untraced(std::size_t s) const {
+    return shards_[s].discards_untraced;
+  }
+  // Firewall rejections by reason, this shard's slice (indexed by
+  // reject_reason).
+  [[nodiscard]] const std::array<std::uint64_t, 4>& shard_rejected_reasons(
+      std::size_t s) const {
+    return shards_[s].rejected_reason;
+  }
+  // NSM-side outputs refused because their descriptor named a foreign pool
+  // key (satellite of DESIGN.md §14: pool_key isolation enforced at every
+  // engine-side dereference, not just inside the pool).
+  [[nodiscard]] std::uint64_t shard_chunk_key_mismatch(std::size_t s) const {
+    return shards_[s].chunk_key_mismatch;
   }
   [[nodiscard]] sim::cpu_core* shard_core(std::size_t s) {
     return shards_[s].core;
@@ -292,6 +414,13 @@ class core_engine {
     std::unordered_map<nsm_key, flow_key, nsm_key_hash> by_nsm;
     core_engine_stats stats;
     std::uint64_t traces_dropped = 0;  // live traces this shard retired
+    // Discards whose nqe carried no live trace (forged nqes, sampled-out
+    // ones) — the other half of the drop-accounting invariant.
+    std::uint64_t discards_untraced = 0;
+    // Firewall rejections by reject_reason (badop/badfd/badchunk/badepoch).
+    std::array<std::uint64_t, 4> rejected_reason{};
+    // NSM-side outputs whose desc named a foreign pool key.
+    std::uint64_t chunk_key_mismatch = 0;
     bool redrain_pending = false;      // backlog-gated pump left work in rings
   };
 
@@ -306,6 +435,22 @@ class core_engine {
     std::uint32_t next_accept_fd = 0;  // set per shard at attach
   };
 
+  // Per-VM abuse record (heap-allocated: the metrics gauges capture a
+  // stable pointer across rehashes of `attachments_`, like the overflow
+  // stages).
+  struct abuse_state {
+    explicit abuse_state(token_bucket b) : budget{std::move(b)} {}
+    token_bucket budget;  // violation budget (tokens = violations)
+    abuse_level level = abuse_level::ok;
+    std::uint64_t rejected = 0;    // firewall rejections charged to this VM
+    std::uint64_t violations = 0;  // lifetime violations
+    // Violations while already throttled; crossing quarantine_threshold
+    // escalates to quarantine.
+    std::uint64_t throttled_violations = 0;
+    sim_time next_drain = sim_time::zero();  // throttled: next allowed drain
+    bool throttle_wake_pending = false;      // one wake timer at a time
+  };
+
   struct attachment {
     virt::machine* vm = nullptr;
     nsm* module = nullptr;
@@ -313,10 +458,37 @@ class core_engine {
     std::unique_ptr<guest_lib> glib;
     std::vector<lane> lanes;  // one per engine shard
     std::uint8_t epoch = 0;   // NSM incarnation serving this channel
+    std::unique_ptr<abuse_state> abuse;
   };
 
   std::size_t drain_vm_jobs(attachment& att, std::size_t s);
   std::size_t drain_nsm_queues(attachment& att, std::size_t s);
+
+  // --- admission firewall internals (DESIGN.md §14) ---------------------------
+  // Stateless pop-time validation of a guest-emitted nqe: role-appropriate
+  // opcode, clean epoch/owner/token, and descriptor pool-key/bounds/length
+  // checks before any dereference. fd ownership (badfd) is checked at
+  // execute time in forward_to_nsm, after earlier creations in the same
+  // batch have installed their mappings. nullopt: admitted.
+  [[nodiscard]] std::optional<reject_reason> admit_vm_nqe(
+      const attachment& att, const shm::nqe& e) const;
+  // Refuses an nqe: counts it (per-shard, per-reason, per-VM), retires its
+  // trace, recycles a validly-owned chunk, surfaces ev_error to the guest
+  // while the VM is still in good standing, and charges a violation.
+  void reject_nqe(attachment& att, std::size_t s, const shm::nqe& e,
+                  reject_reason r);
+  // Token-bucket escalation: warn while the budget holds, throttle when it
+  // runs dry, quarantine after quarantine_threshold throttled violations.
+  void record_violation(attachment& att);
+  [[nodiscard]] token_bucket make_violation_budget() const {
+    return token_bucket{
+        data_rate::bits_per_sec(cfg_.firewall.violations_per_sec * 8.0),
+        cfg_.firewall.violation_burst};
+  }
+  // Most recent active quarantine record for `vm`, else nullptr.
+  [[nodiscard]] const quarantine_record* active_quarantine(
+      virt::vm_id vm) const;
+
   // A pump hit the shard-core backlog gate with work still in its rings:
   // re-kick every pump on the shard once the committed copy work clears.
   void schedule_shard_redrain(std::size_t s);
@@ -348,10 +520,17 @@ class core_engine {
                      std::deque<shm::nqe>& stage, const shm::nqe& e);
   std::size_t flush_stage_to_nsm(attachment& att, std::size_t s);
   std::size_t flush_stage_to_vm(attachment& att, std::size_t s);
-  // Tracer drop with shard attribution: forwards the retired/not-retired
-  // verdict into the shard's slice of nqe_traces_dropped.
+  // Tracer drop with shard attribution: a retired live trace lands in the
+  // shard's slice of nqe_traces_dropped; a discard with no live trace (a
+  // forged nqe with reserved=0, or a sampled-out one) is counted as
+  // untraced, so every engine-side discard increments exactly one of the
+  // two and the accounting invariant stays exact.
   void drop_trace(engine_shard& sh, std::uint64_t id) {
-    if (tracer_.drop(id)) ++sh.traces_dropped;
+    if (tracer_.drop(id)) {
+      ++sh.traces_dropped;
+    } else {
+      ++sh.discards_untraced;
+    }
   }
   // Cross-shard by_nsm lookup (control plane only: the ev_accept listener
   // resolution, flow_table joins). Returns the owning shard's entry.
@@ -384,6 +563,10 @@ class core_engine {
   std::vector<std::unique_ptr<nsm>> retired_nsms_;
   std::vector<std::unique_ptr<service_lib>> retired_services_;
   std::vector<attachment> retired_attachments_;
+
+  // Append-only quarantine history; health_monitor consumes new entries
+  // with a watermark and tests/benches read it for lifecycle assertions.
+  std::vector<quarantine_record> quarantine_log_;
 
   sla_manager sla_;
 };

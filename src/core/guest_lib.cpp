@@ -466,6 +466,55 @@ status guest_lib::nk_close(std::uint32_t fd) {
   return {};
 }
 
+void guest_lib::abort_all(errc err) {
+  // Locally staged jobs will never drain once the channel is torn down;
+  // free the chunks their data ops still own. Their traces stay live and
+  // simply never finish — retiring them here would inflate the tracer's
+  // drop counter without a matching engine-side discard, breaking the
+  // pipeline drop-accounting invariant.
+  for (auto& pending : pending_lanes_) {
+    for (const auto& e : pending) {
+      if ((e.op == shm::nqe_op::req_send ||
+           e.op == shm::nqe_op::req_udp_send ||
+           e.op == shm::nqe_op::req_recv_window) &&
+          !e.desc.empty()) {
+        (void)ch_.pool.free(e.desc.chunk);
+        ++stats_.chunks_freed_local;
+      }
+    }
+    pending.clear();
+  }
+  // Fail every socket and free its buffered receive chunks in place — the
+  // recycle path would just queue req_recv_windows no one will drain.
+  std::vector<std::uint32_t> fds;
+  fds.reserve(sockets_.size());
+  for (auto& [fd, gs] : sockets_) {
+    fds.push_back(fd);
+    for (const auto& item : gs.rx) {
+      (void)ch_.pool.free(item.desc.chunk);
+      ++stats_.chunks_freed_local;
+    }
+    for (const auto& item : gs.udp_rx) {
+      (void)ch_.pool.free(item.desc.chunk);
+      ++stats_.chunks_freed_local;
+    }
+    gs.rx.clear();
+    gs.udp_rx.clear();
+    gs.rx_bytes = 0;
+    gs.accept_q.clear();
+    gs.ph = phase::failed;
+    gs.err = err;
+    gs.eof = true;
+  }
+  // Events after the mutation loop: a handler may nk_close() mid-walk,
+  // erasing map entries out from under an iterator.
+  for (const std::uint32_t fd : fds) {
+    if (socket_of(fd) != nullptr) {
+      emit_event(fd, stack::socket_event_type::error, err);
+    }
+  }
+}
+
 std::size_t guest_lib::recv_available(std::uint32_t fd) const {
   const auto* gs = socket_of(fd);
   return gs == nullptr ? 0 : gs->rx_bytes;

@@ -145,6 +145,13 @@ class guest_lib {
   // Stops the drain pump (detach_vm teardown); the object stays valid.
   void stop() { pump_->stop(); }
 
+  // Quarantine/teardown abort: fails every socket with `err` (error events
+  // raised to the app), frees the chunks pinned by buffered receive data
+  // and locally staged jobs, and clears the staging lists. Called by
+  // core_engine::quarantine_vm before the engine-side detach scrub, which
+  // cannot see GuestLib-internal chunk references.
+  void abort_all(errc err);
+
   [[nodiscard]] const guest_lib_stats& stats() const { return stats_; }
   [[nodiscard]] virt::machine& vm() { return vm_; }
 

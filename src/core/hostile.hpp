@@ -1,0 +1,66 @@
+// Hostile-guest injector (DESIGN.md §14): writes malformed nqes straight
+// into a VM's guest-writable job rings, the way a compromised or malicious
+// tenant would — bypassing GuestLib entirely. Every forged nqe is
+// guaranteed-invalid by construction, so the admission firewall's rejection
+// counters can be checked exactly against the injection count.
+//
+// This is a test/chaos harness, not a production component: it lives next
+// to the engine because it needs the channel type, but nothing in the data
+// path references it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "virt/machine.hpp"
+
+namespace nk::core {
+
+class core_engine;
+
+struct hostile_guest_stats {
+  std::uint64_t injected = 0;    // forged nqes that landed on a ring
+  std::uint64_t ring_full = 0;   // pushes refused by a full ring
+  std::uint64_t no_channel = 0;  // attempts after the VM was detached
+};
+
+class hostile_guest {
+ public:
+  // Forgery categories, mapped to the reject reason each must trigger:
+  //   bad_op    -> badop    (completion/event/invalid opcode on a job ring)
+  //   bad_fd    -> badfd    (fd-addressed request naming no flow of the VM)
+  //   bad_chunk -> badchunk (foreign pool key, OOB index, or desc smuggled
+  //                          onto a control op)
+  //   bad_epoch -> badepoch (nonzero epoch or forged owner id)
+  //   bad_token -> badepoch (creating op whose token does not match its fd)
+  enum class attack : std::uint8_t {
+    bad_op = 0,
+    bad_fd,
+    bad_chunk,
+    bad_epoch,
+    bad_token,
+  };
+
+  hostile_guest(core_engine& engine, virt::vm_id vm, std::uint64_t seed);
+
+  // Forges one malformed nqe of a seed-chosen (or explicit) category and
+  // pushes it into a random lane of the VM's job ring set. Returns true if
+  // it landed (false: ring full or VM already detached/quarantined).
+  bool inject();
+  bool inject(attack kind);
+
+  // `count` back-to-back injections of random categories; returns how many
+  // landed.
+  std::size_t storm(std::size_t count);
+
+  [[nodiscard]] const hostile_guest_stats& stats() const { return stats_; }
+  [[nodiscard]] virt::vm_id vm() const { return vm_; }
+
+ private:
+  core_engine& engine_;
+  virt::vm_id vm_;
+  rng rng_;
+  hostile_guest_stats stats_;
+};
+
+}  // namespace nk::core

@@ -15,6 +15,7 @@ std::string_view to_string(alert_kind k) {
     case alert_kind::channel_stalled: return "channel_stalled";
     case alert_kind::nsm_failed: return "nsm_failed";
     case alert_kind::slo_burn: return "slo_burn";
+    case alert_kind::vm_quarantined: return "vm_quarantined";
   }
   return "unknown";
 }
@@ -22,7 +23,10 @@ std::string_view to_string(alert_kind k) {
 std::ostream& operator<<(std::ostream& os, const alert& a) {
   os << "[" << a.at.count() << "ns] " << to_string(a.kind) << " nsm="
      << a.module;
-  if (a.kind == alert_kind::channel_stalled) os << " vm=" << a.vm;
+  if (a.kind == alert_kind::channel_stalled ||
+      a.kind == alert_kind::vm_quarantined) {
+    os << " vm=" << a.vm;
+  }
   return os << ": " << a.detail;
 }
 
@@ -52,6 +56,7 @@ void health_monitor::tick() {
   for (const auto& module : engine_.nsms()) sample_nsm(*module);
   check_channels();
   check_failures();
+  check_quarantines();
   timer_ = engine_.simulator().schedule(cfg_.interval, [this] { tick(); });
 }
 
@@ -238,6 +243,41 @@ void health_monitor::check_failures() {
     crash_snapshots_[a.module] = std::move(snap);
   }
   for (auto& a : dead) emit(std::move(a));
+}
+
+void health_monitor::check_quarantines() {
+  // New quarantine decisions since the last tick (watermark over the
+  // engine's append-only log). The snapshot is captured before emit() runs
+  // subscribed handlers, same as check_failures: the serving NSM's
+  // flight-recorder ring holds the throttle/quarantine notes and whatever
+  // the module saw of the abuse, as of the decision — not after a policy
+  // reacted to it.
+  const auto& log = engine_.quarantine_log();
+  for (; quarantine_seen_ < log.size(); ++quarantine_seen_) {
+    const quarantine_record& rec = log[quarantine_seen_];
+    std::string snap = engine_.recorder().snapshot_json(
+        rec.module, engine_.simulator().now());
+    if (!cfg_.flight_recorder_dir.empty()) {
+      const std::string path = cfg_.flight_recorder_dir + "/quarantine_vm" +
+                               std::to_string(rec.vm) + ".json";
+      std::ofstream out(path);
+      if (out) {
+        out << snap;
+      } else {
+        log_warn("health_monitor: cannot write quarantine dump ", path);
+      }
+    }
+    quarantine_snapshots_[rec.vm] = std::move(snap);
+
+    alert a;
+    a.kind = alert_kind::vm_quarantined;
+    a.at = rec.at;
+    a.module = rec.module;
+    a.vm = rec.vm;
+    a.detail = "vm " + std::to_string(rec.vm) + " quarantined: " + rec.reason +
+               " (" + std::to_string(rec.violations) + " violations)";
+    emit(std::move(a));
+  }
 }
 
 std::string health_monitor::report() const {

@@ -34,7 +34,13 @@ struct nsm_sample {
   std::uint64_t rx_packets = 0;
 };
 
-enum class alert_kind { nsm_overloaded, channel_stalled, nsm_failed, slo_burn };
+enum class alert_kind {
+  nsm_overloaded,
+  channel_stalled,
+  nsm_failed,
+  slo_burn,
+  vm_quarantined,
+};
 
 [[nodiscard]] std::string_view to_string(alert_kind k);
 
@@ -42,7 +48,7 @@ struct alert {
   alert_kind kind{};
   sim_time at{};
   nsm_id module = 0;
-  virt::vm_id vm = 0;  // set for channel_stalled
+  virt::vm_id vm = 0;  // set for channel_stalled and vm_quarantined
   std::string detail;
 };
 
@@ -126,11 +132,21 @@ class health_monitor {
     return crash_snapshots_;
   }
 
+  // Flight-recorder snapshots captured by check_quarantines() when the
+  // engine quarantined a hostile VM — the ring shows what the module saw of
+  // the abuse before the tenant was cut off. Keyed by the quarantined VM's
+  // id; value is flight_recorder::snapshot_json() of the serving NSM.
+  [[nodiscard]] const std::unordered_map<virt::vm_id, std::string>&
+  quarantine_snapshots() const {
+    return quarantine_snapshots_;
+  }
+
  private:
   void tick();
   void sample_nsm(nsm& module);
   void check_channels();
   void check_failures();
+  void check_quarantines();
   void on_slo_burn(const obs::slo_status& st);
   void emit(alert a);
 
@@ -149,6 +165,8 @@ class health_monitor {
   std::unordered_map<virt::vm_id, channel_watch> channels_;
   std::unordered_set<nsm_id> flagged_dead_;  // alert once per incarnation
   std::unordered_map<nsm_id, std::string> crash_snapshots_;
+  std::size_t quarantine_seen_ = 0;  // watermark into engine quarantine_log()
+  std::unordered_map<virt::vm_id, std::string> quarantine_snapshots_;
   std::vector<alert> alerts_;
   std::vector<alert_handler> handlers_;
   const obs::slo_engine* slo_ = nullptr;

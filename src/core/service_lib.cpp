@@ -177,6 +177,18 @@ bool service_lib::push_out(served_vm& svm, std::size_t shard, shm::nqe e,
     if (!e.desc.empty()) (void)svm.ch->pool.free(e.desc.chunk);
     return false;
   }
+  // Pool-key isolation (DESIGN.md §14): an output descriptor must name the
+  // destination channel's own pool. A foreign key is never dereferenced or
+  // freed here — the chunk belongs to whatever pool minted it.
+  if (!e.desc.empty() && e.desc.chunk.pool_key != svm.ch->pool.key()) {
+    ++stats_.chunk_key_mismatch;
+    ++stats_.nqes_dropped;
+    if (tracer_ != nullptr) {
+      tracer_->maybe_begin(e, /*reverse=*/true, svm.ch->vm_id, nsm_.id());
+      tracer_->drop(e.reserved);
+    }
+    return false;
+  }
   e.owner = nsm_.id();
   e.epoch = svm.epoch;
   // A reverse-path trace begins here: the nqe enters the NSM-side out-queue

@@ -40,6 +40,9 @@ struct service_lib_stats {
   std::uint64_t nqes_dropped = 0;      // discarded at the cap (chunks freed)
   std::uint64_t stale_nqes = 0;        // jobs from a retired NSM incarnation
   std::uint64_t sla_throttles = 0;
+  // Outputs refused because their descriptor named a pool that is not the
+  // destination channel's (pool-key isolation, DESIGN.md §14).
+  std::uint64_t chunk_key_mismatch = 0;
 };
 
 class service_lib {

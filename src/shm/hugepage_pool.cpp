@@ -34,7 +34,10 @@ status hugepage_pool::validate(chunk_ref ref) const {
 }
 
 status hugepage_pool::free(chunk_ref ref) {
-  if (auto s = validate(ref); !s) return s;
+  if (auto s = validate(ref); !s) {
+    ++bad_frees_;
+    return s;
+  }
   allocated_[ref.index] = false;
   free_.push_back(ref.index);
   return {};

@@ -47,6 +47,11 @@ class hugepage_pool {
   [[nodiscard]] bool exhausted() const { return exhausted_; }
   [[nodiscard]] std::uint64_t failed_allocs() const { return failed_allocs_; }
 
+  // Frees the free list defended against: double frees, foreign pool keys,
+  // out-of-range indices (a forged cmp_send/recycle descriptor). Each is a
+  // counted no-op instead of a free-list corruption.
+  [[nodiscard]] std::uint64_t bad_frees() const { return bad_frees_; }
+
   // Takes one chunk from the free list.
   [[nodiscard]] result<chunk_ref> alloc();
 
@@ -71,6 +76,7 @@ class hugepage_pool {
   std::vector<bool> allocated_;
   bool exhausted_ = false;
   std::uint64_t failed_allocs_ = 0;
+  std::uint64_t bad_frees_ = 0;
 };
 
 }  // namespace nk::shm

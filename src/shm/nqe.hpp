@@ -108,6 +108,29 @@ enum class nqe_op : std::uint8_t {
   }
 }
 
+// Role gate for the CoreEngine admission firewall (DESIGN.md §14): the
+// guest-writable job rings may only carry requests. A completion, event or
+// invalid opcode popped from a VM queue is a forgery — only the provider
+// side (ServiceLib via CoreEngine) may emit those.
+[[nodiscard]] constexpr bool guest_may_emit(nqe_op op) {
+  switch (op) {
+    case nqe_op::req_socket:
+    case nqe_op::req_bind:
+    case nqe_op::req_listen:
+    case nqe_op::req_connect:
+    case nqe_op::req_send:
+    case nqe_op::req_recv_window:
+    case nqe_op::req_setsockopt:
+    case nqe_op::req_shutdown_wr:
+    case nqe_op::req_close:
+    case nqe_op::req_udp_open:
+    case nqe_op::req_udp_send:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // Reference to one chunk of the shared huge-page region. `pool_key`
 // identifies the VM↔NSM pair the pool belongs to; access through a pool
 // with a different key is rejected (isolation, paper §3.1).

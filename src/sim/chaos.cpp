@@ -1,0 +1,58 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace nk::sim {
+
+void chaos_schedule::add(sim_time when, std::string name,
+                         std::function<void()> fn) {
+  assert(!armed_ && "chaos_schedule: compose before arm(), not after");
+  entries_.push_back(
+      entry{when, next_seq_++, std::move(name), std::move(fn)});
+}
+
+void chaos_schedule::at(sim_time when, std::string name,
+                        std::function<void()> fn) {
+  add(when, std::move(name), std::move(fn));
+}
+
+void chaos_schedule::storm(std::string name, sim_time start, sim_time window,
+                           std::size_t count,
+                           std::function<void(std::size_t)> fn) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const sim_time when =
+        start + (window > sim_time::zero()
+                     ? sim_time{static_cast<sim_time::rep>(
+                           rng_.next_below(static_cast<std::uint64_t>(
+                               window.count())))}
+                     : sim_time::zero());
+    add(when, name + "#" + std::to_string(i), [fn, i] { fn(i); });
+  }
+}
+
+void chaos_schedule::pulse(std::string name, sim_time start, sim_time duration,
+                           std::function<void(bool)> fn) {
+  add(start, name + ":on", [fn] { fn(true); });
+  add(start + duration, name + ":off", [fn] { fn(false); });
+}
+
+void chaos_schedule::arm() {
+  if (armed_) return;
+  armed_ = true;
+  // Stable order: time, then composition sequence. Ties at the same instant
+  // fire in the order they were composed, independent of container details.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const entry& a, const entry& b) {
+              return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+            });
+  for (auto& en : entries_) {
+    sim_.schedule_at(en.when, [this, name = en.name, fn = en.fn] {
+      log_.push_back(chaos_event{sim_.now(), name});
+      fn();
+    });
+  }
+}
+
+}  // namespace nk::sim

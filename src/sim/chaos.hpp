@@ -1,0 +1,76 @@
+// Composable, seeded chaos harness (DESIGN.md §14). Unifies the fault
+// hooks scattered across the stack — NSM fail()/freeze(), pool exhaustion,
+// tiny rings, lossy links, hostile-guest injection — behind one schedule:
+// faults are composed declaratively (at / storm / pulse), ordered
+// deterministically by (time, insertion sequence), and armed once. The same
+// seed always yields the same fault timeline, so a storm that trips an
+// invariant replays bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace nk::sim {
+
+// One fired fault, appended to chaos_schedule::log() at execution time —
+// the replayable record of what the storm actually did.
+struct chaos_event {
+  sim_time at{};
+  std::string name;
+};
+
+class chaos_schedule {
+ public:
+  chaos_schedule(simulator& s, std::uint64_t seed) : sim_{s}, rng_{seed} {}
+
+  chaos_schedule(const chaos_schedule&) = delete;
+  chaos_schedule& operator=(const chaos_schedule&) = delete;
+
+  // One fault at a fixed instant.
+  void at(sim_time when, std::string name, std::function<void()> fn);
+
+  // `count` firings of fn(index) at seed-derived instants uniformly inside
+  // [start, start + window). Draw order is fixed (count draws at compose
+  // time), so the timeline depends only on the seed and the compose order.
+  void storm(std::string name, sim_time start, sim_time window,
+             std::size_t count, std::function<void(std::size_t)> fn);
+
+  // fn(true) at start, fn(false) at start + duration — for faults with an
+  // on/off shape (pool exhaustion, NSM freeze, link degradation).
+  void pulse(std::string name, sim_time start, sim_time duration,
+             std::function<void(bool)> fn);
+
+  // Sorts every composed entry by (time, insertion sequence) and schedules
+  // it. Call once, after composing; further composition requires a fresh
+  // schedule.
+  void arm();
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] std::size_t entries() const { return entries_.size(); }
+  // Faults fired so far, in execution order.
+  [[nodiscard]] const std::vector<chaos_event>& log() const { return log_; }
+
+ private:
+  struct entry {
+    sim_time when{};
+    std::uint64_t seq = 0;
+    std::string name;
+    std::function<void()> fn;
+  };
+
+  void add(sim_time when, std::string name, std::function<void()> fn);
+
+  simulator& sim_;
+  rng rng_;
+  std::vector<entry> entries_;
+  std::vector<chaos_event> log_;
+  std::uint64_t next_seq_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace nk::sim

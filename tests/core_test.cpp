@@ -7,6 +7,7 @@
 #include "apps/scenario.hpp"
 #include "apps/workloads.hpp"
 #include "core/accounting.hpp"
+#include "core/hostile.hpp"
 
 namespace nk::core {
 namespace {
@@ -15,11 +16,15 @@ using apps::side;
 using apps::testbed;
 
 // A NetKernel tenant on side a talking to a NetKernel tenant on side b.
+// The optional `tweak` hook edits the testbed params before construction.
 struct nk_pair {
-  explicit nk_pair(tcp::cc_algorithm cc = tcp::cc_algorithm::cubic,
-                   std::uint64_t seed = 1)
+  explicit nk_pair(
+      tcp::cc_algorithm cc = tcp::cc_algorithm::cubic,
+      std::uint64_t seed = 1,
+      const std::function<void(apps::testbed_params&)>& tweak = {})
       : bed{[&] {
           auto p = apps::datacenter_params(seed);
+          if (tweak) tweak(p);
           return p;
         }()} {
     nsm_config nsm_cfg;
@@ -903,11 +908,188 @@ TEST(netkernel_sharding, failover_replays_flows_within_owning_shards) {
 #ifndef NK_NO_TRACING
   for (std::size_t s = 0; s < ce.shards(); ++s) {
     const auto& st = ce.shard_stats(s);
-    EXPECT_EQ(st.unroutable_nqes + st.nqes_dropped + st.stale_nqes,
-              ce.shard_traces_dropped(s))
+    EXPECT_EQ(st.unroutable_nqes + st.nqes_dropped + st.stale_nqes +
+                  st.rejected_nqes,
+              ce.shard_traces_dropped(s) + ce.shard_discards_untraced(s))
         << "shard " << s;
   }
 #endif
+}
+
+// --- admission firewall + abuse quarantine (DESIGN.md §14) -----------------
+
+// nk_pair plus a hostile third VM on side a with its own NSM, and a
+// test-tuned escalation budget: burst 4 warnings, then throttled, then 8
+// more violations quarantine. `burst` can be raised to disable escalation.
+struct firewall_rig : nk_pair {
+  explicit firewall_rig(sim_time probation,
+                        std::uint64_t burst = 4)
+      : nk_pair{tcp::cc_algorithm::cubic, 1, [&](apps::testbed_params& p) {
+                  p.netkernel.firewall.violations_per_sec = 1.0;
+                  p.netkernel.firewall.violation_burst = burst;
+                  p.netkernel.firewall.quarantine_threshold = 8;
+                  p.netkernel.firewall.probation = probation;
+                }} {
+    nsm_config nsm_cfg;
+    nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+    nsm_cfg.name = "nsm-rogue";
+    virt::vm_config vm_cfg;
+    vm_cfg.name = "rogue-vm";
+    rogue = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  }
+
+  [[nodiscard]] core_engine& engine() { return bed.netkernel(side::a); }
+  [[nodiscard]] virt::vm_id rogue_id() const { return rogue->vm->id(); }
+
+  // Storms until the engine quarantines the rogue (or a time cap passes).
+  void storm_until_quarantined(hostile_guest& attacker) {
+    for (int i = 0; i < 50 && !engine().quarantined(rogue_id()); ++i) {
+      attacker.storm(20);
+      bed.run_for(milliseconds(1));
+    }
+  }
+
+  std::optional<apps::nk_tenant> rogue;
+};
+
+TEST(netkernel_firewall, each_attack_category_hits_its_reason_counter) {
+  // Escalation off: every forgery is rejected individually.
+  firewall_rig rig{sim_time::zero(), /*burst=*/1ull << 30};
+  hostile_guest attacker{rig.engine(), rig.rogue_id(), 99};
+
+  ASSERT_TRUE(attacker.inject(hostile_guest::attack::bad_op));
+  ASSERT_TRUE(attacker.inject(hostile_guest::attack::bad_fd));
+  ASSERT_TRUE(attacker.inject(hostile_guest::attack::bad_chunk));
+  ASSERT_TRUE(attacker.inject(hostile_guest::attack::bad_epoch));
+  ASSERT_TRUE(attacker.inject(hostile_guest::attack::bad_token));
+  rig.bed.run_for(milliseconds(5));
+
+  std::array<std::uint64_t, 4> reasons{};
+  for (std::size_t s = 0; s < rig.engine().shards(); ++s) {
+    const auto& r = rig.engine().shard_rejected_reasons(s);
+    for (std::size_t i = 0; i < r.size(); ++i) reasons[i] += r[i];
+  }
+  EXPECT_EQ(reasons[0], 1u);  // badop
+  EXPECT_EQ(reasons[1], 1u);  // badfd
+  EXPECT_EQ(reasons[2], 1u);  // badchunk
+  EXPECT_EQ(reasons[3], 2u);  // badepoch: epoch/owner forgery + token forgery
+  // Violations were logged (warn) but the huge budget prevents escalation.
+  EXPECT_EQ(rig.engine().abuse_level_of(rig.rogue_id()), abuse_level::warn);
+  EXPECT_FALSE(rig.engine().quarantined(rig.rogue_id()));
+}
+
+TEST(netkernel_firewall, escalation_quarantines_rogue_and_spares_neighbor) {
+  firewall_rig rig{sim_time::zero()};
+  hostile_guest attacker{rig.engine(), rig.rogue_id(), 7};
+
+  EXPECT_EQ(rig.engine().abuse_level_of(rig.rogue_id()), abuse_level::ok);
+  rig.storm_until_quarantined(attacker);
+
+  // The rogue ends quarantined and detached; its channel is retired but the
+  // decision is on the record.
+  EXPECT_TRUE(rig.engine().quarantined(rig.rogue_id()));
+  EXPECT_EQ(rig.engine().abuse_level_of(rig.rogue_id()),
+            abuse_level::quarantined);
+  EXPECT_EQ(rig.engine().channel_of(rig.rogue_id()), nullptr);
+  ASSERT_EQ(rig.engine().quarantine_log().size(), 1u);
+  const auto& rec = rig.engine().quarantine_log().front();
+  EXPECT_EQ(rec.vm, rig.rogue_id());
+  EXPECT_EQ(rec.readmit_at, sim_time::zero());  // permanent
+  EXPECT_GE(rec.violations, 12u);               // burst 4 + threshold 8
+  EXPECT_EQ(rig.engine()
+                .metrics()
+                .value_of("vms_quarantined")
+                .value_or(0.0),
+            1.0);
+
+  // The clean tenant on the same engine is untouched: it still connects.
+  auto& gs = *rig.server.glib;
+  const auto lfd = gs.nk_socket().value();
+  ASSERT_TRUE(gs.nk_bind(lfd, 7200).ok());
+  ASSERT_TRUE(gs.nk_listen(lfd).ok());
+  gs.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                           errc) {
+    if (fd == lfd && t == stack::socket_event_type::accept_ready) {
+      while (gs.nk_accept(lfd).ok()) {
+      }
+    }
+  });
+  auto& gc = *rig.client.glib;
+  const auto cfd = gc.nk_socket().value();
+  bool connected = false;
+  gc.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                           errc) {
+    if (fd == cfd && t == stack::socket_event_type::connected) {
+      connected = true;
+    }
+  });
+  ASSERT_TRUE(
+      gc.nk_connect(cfd, {rig.server.module->config().address, 7200}).ok());
+  rig.bed.run_for(milliseconds(100));
+  EXPECT_TRUE(connected);
+
+  // No chunk leaked anywhere, the retired rogue channel included.
+  for (const auto vm : rig.engine().attached_vms()) {
+    auto* ch = rig.engine().channel_of(vm);
+    EXPECT_EQ(ch->pool.chunks_free(), ch->pool.chunk_count());
+  }
+}
+
+TEST(netkernel_firewall, probation_expiry_lifts_quarantine) {
+  firewall_rig rig{milliseconds(10)};
+  hostile_guest attacker{rig.engine(), rig.rogue_id(), 7};
+  rig.storm_until_quarantined(attacker);
+  ASSERT_TRUE(rig.engine().quarantined(rig.rogue_id()));
+
+  rig.bed.run_for(milliseconds(12));
+  EXPECT_FALSE(rig.engine().quarantined(rig.rogue_id()));
+
+  // A re-attach after probation comes up clean.
+  guest_lib& fresh =
+      rig.engine().attach_vm(*rig.rogue->vm, *rig.rogue->module);
+  (void)fresh;
+  EXPECT_EQ(rig.engine().abuse_level_of(rig.rogue_id()), abuse_level::ok);
+  EXPECT_NE(rig.engine().channel_of(rig.rogue_id()), nullptr);
+}
+
+TEST(netkernel_firewall, reattach_during_probation_stays_quarantined) {
+  firewall_rig rig{milliseconds(50)};
+  hostile_guest attacker{rig.engine(), rig.rogue_id(), 7};
+  rig.storm_until_quarantined(attacker);
+  ASSERT_TRUE(rig.engine().quarantined(rig.rogue_id()));
+  const sim_time readmit_at = rig.engine().quarantine_log().front().readmit_at;
+  ASSERT_GT(readmit_at, rig.bed.sim().now() - milliseconds(50));
+
+  // Probation still running: the VM attaches, but comes up quarantined with
+  // its job lanes refused until the clock (scheduled at attach) clears it.
+  (void)rig.engine().attach_vm(*rig.rogue->vm, *rig.rogue->module);
+  EXPECT_EQ(rig.engine().abuse_level_of(rig.rogue_id()),
+            abuse_level::quarantined);
+
+  rig.bed.run_for(milliseconds(60));
+  EXPECT_FALSE(rig.engine().quarantined(rig.rogue_id()));
+  EXPECT_EQ(rig.engine().abuse_level_of(rig.rogue_id()), abuse_level::ok);
+  EXPECT_GE(rig.engine()
+                .metrics()
+                .value_of("vms_readmitted")
+                .value_or(0.0),
+            1.0);
+}
+
+TEST(netkernel_firewall, manual_readmit_clears_permanent_quarantine) {
+  firewall_rig rig{sim_time::zero()};
+  hostile_guest attacker{rig.engine(), rig.rogue_id(), 7};
+  rig.storm_until_quarantined(attacker);
+  ASSERT_TRUE(rig.engine().quarantined(rig.rogue_id()));
+
+  // Permanent: no probation clock runs this down.
+  rig.bed.run_for(milliseconds(50));
+  EXPECT_TRUE(rig.engine().quarantined(rig.rogue_id()));
+
+  EXPECT_TRUE(rig.engine().readmit_vm(rig.rogue_id()));
+  EXPECT_FALSE(rig.engine().quarantined(rig.rogue_id()));
+  // Nothing left to parole.
+  EXPECT_FALSE(rig.engine().readmit_vm(rig.rogue_id()));
 }
 
 }  // namespace

@@ -2,12 +2,19 @@
 // live NetKernel channel must never crash, corrupt chunk accounting, or
 // wedge the channel. The adversary mixes valid and invalid fds, premature
 // operations, and interleaved closes while the simulation runs.
+//
+// The raw-ring fuzzers below go a layer deeper: they bypass GuestLib
+// entirely and write forged/garbage nqes straight into the guest-writable
+// job rings — the hostile-tenant threat model of DESIGN.md §14. The
+// admission firewall must reject every one with exact per-reason
+// accounting, leak nothing, and keep serving well-behaved tenants.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "apps/scenario.hpp"
 #include "common/rng.hpp"
+#include "core/hostile.hpp"
 
 namespace nk::core {
 namespace {
@@ -118,6 +125,176 @@ TEST_P(guestlib_fuzz, random_op_sequences_hold_invariants) {
 
 INSTANTIATE_TEST_SUITE_P(seeds, guestlib_fuzz,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// --- raw-ring hostile fuzz (admission firewall) ----------------------------
+
+// Rig for the raw-ring tests: one target VM whose rings we abuse directly,
+// one well-behaved peer VM on the other host proving the engine keeps
+// serving clean tenants. The firewall's escalation is disabled (an
+// effectively infinite violation budget) so every forgery is individually
+// rejected and the counters can be checked for exact equality.
+struct raw_ring_rig {
+  explicit raw_ring_rig(std::uint64_t seed)
+      : params{[&] {
+          auto p = apps::datacenter_params(seed);
+          p.netkernel.shards = 2;
+          p.netkernel.firewall.violation_burst = 1ull << 30;
+          return p;
+        }()},
+        bed{params} {
+    nsm_config nsm_cfg;
+    nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+    virt::vm_config vm_cfg;
+    vm_cfg.name = "target-vm";
+    target = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+    vm_cfg.name = "peer-vm";
+    nsm_cfg.name = "nsm-peer";
+    peer = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+  }
+
+  [[nodiscard]] core_engine& engine() { return bed.netkernel(side::a); }
+
+  [[nodiscard]] std::uint64_t rejected_total() {
+    std::uint64_t n = 0;
+    for (std::size_t s = 0; s < engine().shards(); ++s) {
+      n += engine().shard_stats(s).rejected_nqes;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t rejected_by_reason_sum() {
+    std::uint64_t n = 0;
+    for (std::size_t s = 0; s < engine().shards(); ++s) {
+      for (const auto c : engine().shard_rejected_reasons(s)) n += c;
+    }
+    return n;
+  }
+
+  void expect_invariants() {
+    // Nothing leaked from the abused pool...
+    auto* ch = engine().channel_of(target.vm->id());
+    ASSERT_NE(ch, nullptr);
+    EXPECT_EQ(ch->pool.chunks_free(), ch->pool.chunk_count());
+    // ...and every shard's books balance, forgeries included.
+    for (std::size_t s = 0; s < engine().shards(); ++s) {
+      const auto& st = engine().shard_stats(s);
+      EXPECT_EQ(st.unroutable_nqes + st.nqes_dropped + st.stale_nqes +
+                    st.rejected_nqes,
+                engine().shard_traces_dropped(s) +
+                    engine().shard_discards_untraced(s))
+          << "shard " << s;
+    }
+  }
+
+  apps::testbed_params params;
+  testbed bed;
+  apps::nk_tenant target;
+  apps::nk_tenant peer;
+};
+
+class raw_ring_fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(raw_ring_fuzz, forged_nqes_rejected_exactly_no_leak) {
+  raw_ring_rig rig{GetParam()};
+  hostile_guest attacker{rig.engine(), rig.target.vm->id(),
+                         GetParam() * 6364136223846793005ull + 1};
+
+  // Directed forgeries across every attack category, interleaved with sim
+  // progress so rings drain and refill.
+  rng random{GetParam() ^ 0xabcdefull};
+  for (int round = 0; round < 20; ++round) {
+    attacker.storm(15);
+    rig.bed.run_for(microseconds(200 + random.next_below(500)));
+  }
+  rig.bed.run_for(milliseconds(50));
+
+  const auto& st = attacker.stats();
+  EXPECT_GT(st.injected, 0u);
+  EXPECT_EQ(st.no_channel, 0u);  // no escalation: the VM stays attached
+  // With escalation off, every landed forgery is individually rejected.
+  EXPECT_EQ(rig.rejected_total(), st.injected);
+  EXPECT_EQ(rig.rejected_by_reason_sum(), rig.rejected_total());
+  EXPECT_EQ(rig.engine()
+                .metrics()
+                .value_of("engine_nqes_rejected")
+                .value_or(0.0),
+            static_cast<double>(st.injected));
+  rig.expect_invariants();
+  EXPECT_FALSE(rig.engine().quarantined(rig.target.vm->id()));
+}
+
+TEST_P(raw_ring_fuzz, random_garbage_nqes_never_crash_or_leak) {
+  raw_ring_rig rig{GetParam()};
+  auto* ch = rig.engine().channel_of(rig.target.vm->id());
+  ASSERT_NE(ch, nullptr);
+
+  // Fully random nqe fields. Every one is force-invalidated (bad epoch at
+  // minimum, often also a garbage opcode / foreign desc / forged owner), so
+  // rejections must equal landed pushes exactly.
+  rng random{GetParam() * 2862933555777941757ull + 3};
+  std::uint64_t landed = 0;
+  for (int i = 0; i < 400; ++i) {
+    shm::nqe e;
+    e.op = static_cast<shm::nqe_op>(random.next_below(256));
+    e.epoch = static_cast<std::uint8_t>(1 + random.next_below(255));
+    e.owner = static_cast<std::uint16_t>(random.next_below(1 << 16));
+    e.handle = static_cast<std::uint32_t>(random.next_u64());
+    e.token = random.next_u64();
+    e.status = static_cast<std::int32_t>(random.next_u64());
+    e.arg0 = random.next_u64();
+    e.arg1 = random.next_u64();
+    if (random.chance(0.5)) {
+      e.desc.chunk.pool_key = static_cast<std::uint32_t>(random.next_u64());
+      e.desc.chunk.index = static_cast<std::uint32_t>(random.next_below(1 << 20));
+      e.desc.offset = static_cast<std::uint32_t>(random.next_below(1 << 16));
+      e.desc.length = static_cast<std::uint32_t>(random.next_below(1 << 16));
+    }
+    const auto s = static_cast<std::size_t>(random.next_below(ch->shards()));
+    if (ch->vm_q(s).job.push(e)) {
+      ++landed;
+      rig.engine().notify_from_vm(rig.target.vm->id(), s);
+    }
+    if (random.chance(0.2)) {
+      rig.bed.run_for(microseconds(1 + random.next_below(300)));
+    }
+  }
+  rig.bed.run_for(milliseconds(50));
+
+  EXPECT_GT(landed, 0u);
+  EXPECT_EQ(rig.rejected_total(), landed);
+  EXPECT_EQ(rig.rejected_by_reason_sum(), rig.rejected_total());
+  rig.expect_invariants();
+
+  // The engine still serves clean tenants: a fresh legit connect from the
+  // abused VM's own GuestLib completes against the peer's listener.
+  auto& gp = *rig.peer.glib;
+  const auto lfd = gp.nk_socket().value();
+  ASSERT_TRUE(gp.nk_bind(lfd, 7100).ok());
+  ASSERT_TRUE(gp.nk_listen(lfd).ok());
+  gp.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                           errc) {
+    if (fd == lfd && t == stack::socket_event_type::accept_ready) {
+      while (gp.nk_accept(lfd).ok()) {
+      }
+    }
+  });
+  auto& glib = *rig.target.glib;
+  const auto cfd = glib.nk_socket().value();
+  bool connected = false;
+  glib.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                             errc) {
+    if (fd == cfd && t == stack::socket_event_type::connected) {
+      connected = true;
+    }
+  });
+  ASSERT_TRUE(
+      glib.nk_connect(cfd, {rig.peer.module->config().address, 7100}).ok());
+  rig.bed.run_for(milliseconds(100));
+  EXPECT_TRUE(connected);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, raw_ring_fuzz,
+                         ::testing::Range<std::uint64_t>(1, 6));
 
 }  // namespace
 }  // namespace nk::core

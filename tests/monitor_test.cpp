@@ -4,6 +4,7 @@
 
 #include "apps/scenario.hpp"
 #include "apps/workloads.hpp"
+#include "core/hostile.hpp"
 #include "core/monitor.hpp"
 
 namespace nk::core {
@@ -423,6 +424,63 @@ TEST(autoscaler, grants_cores_to_overloaded_nsm) {
   EXPECT_GT(scaler.scale_ups(), 0);
   EXPECT_GT(tx.module->cores().size(), cores_before);
   EXPECT_LE(tx.module->cores().size(), 3u);
+}
+
+TEST(health_monitor, quarantine_raises_alert_with_flight_snapshot) {
+  auto params = apps::datacenter_params(27);
+  // Tight escalation so a short storm crosses warn -> throttle -> quarantine.
+  params.netkernel.firewall.violations_per_sec = 1.0;
+  params.netkernel.firewall.violation_burst = 4;
+  params.netkernel.firewall.quarantine_threshold = 8;
+  params.netkernel.firewall.probation = sim_time::zero();
+  testbed bed{params};
+  nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "rogue";
+  auto rogue = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  core_engine& ce = bed.netkernel(side::a);
+  const virt::vm_id vm = rogue.vm->id();
+  const nsm_id module = rogue.module->id();
+
+  monitor_config mcfg;
+  mcfg.interval = milliseconds(1);
+  health_monitor mon{ce, mcfg};
+  mon.start();
+
+  hostile_guest attacker{ce, vm, 5};
+  for (int i = 0; i < 50 && !ce.quarantined(vm); ++i) {
+    attacker.storm(20);
+    bed.run_for(milliseconds(1));
+  }
+  ASSERT_TRUE(ce.quarantined(vm));
+  bed.run_for(milliseconds(5));  // at least one monitor tick past the event
+
+  // The monitor turned the engine's quarantine record into an alert...
+  const alert* found = nullptr;
+  for (const auto& a : mon.alerts()) {
+    if (a.kind == alert_kind::vm_quarantined && a.vm == vm) found = &a;
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->module, module);
+  EXPECT_NE(found->detail.find("quarantined"), std::string::npos);
+  EXPECT_NE(found->detail.find("violations"), std::string::npos);
+
+  // ...and captured the serving NSM's flight-recorder ring as of the
+  // decision: the throttle and quarantine notes are both in the snapshot.
+  auto it = mon.quarantine_snapshots().find(vm);
+  ASSERT_NE(it, mon.quarantine_snapshots().end());
+  EXPECT_NE(it->second.find("throttled: violation budget dry"),
+            std::string::npos);
+  EXPECT_NE(it->second.find("quarantined: violation budget exhausted"),
+            std::string::npos);
+
+  // Each quarantine decision is reported exactly once.
+  std::size_t count = 0;
+  for (const auto& a : mon.alerts()) {
+    if (a.kind == alert_kind::vm_quarantined) ++count;
+  }
+  EXPECT_EQ(count, 1u);
 }
 
 }  // namespace

@@ -162,6 +162,38 @@ TEST(hugepage_pool, rejects_double_free_and_stale_refs) {
   EXPECT_EQ(pool.writable(c.value()).error(), errc::not_found);
 }
 
+TEST(hugepage_pool, bad_frees_are_counted_noops) {
+  hugepage_pool pool{1};
+  hugepage_pool foreign{2};
+  EXPECT_EQ(pool.bad_frees(), 0u);
+
+  // Double free: refused, counted, and the slot is not freed twice.
+  auto a = pool.alloc();
+  auto b = pool.alloc();
+  const auto free_before = pool.chunks_free();
+  ASSERT_TRUE(pool.free(a.value()).ok());
+  EXPECT_EQ(pool.free(a.value()).error(), errc::not_found);
+  EXPECT_EQ(pool.bad_frees(), 1u);
+  EXPECT_EQ(pool.chunks_free(), free_before + 1);
+
+  // Free through a foreign pool's ref: refused, counted, and the foreign
+  // chunk is untouched.
+  auto f = foreign.alloc();
+  EXPECT_EQ(pool.free(f.value()).error(), errc::permission_denied);
+  EXPECT_EQ(pool.bad_frees(), 2u);
+  EXPECT_TRUE(foreign.readable(data_descriptor{f.value(), 0, 1}).ok());
+
+  // Out-of-range index: refused, counted.
+  EXPECT_EQ(pool.free(chunk_ref{1, 1u << 30}).error(),
+            errc::invalid_argument);
+  EXPECT_EQ(pool.bad_frees(), 3u);
+
+  // The abuse corrupted nothing: the live chunk still frees cleanly.
+  EXPECT_TRUE(pool.free(b.value()).ok());
+  EXPECT_EQ(pool.chunks_free(), pool.chunk_count());
+  EXPECT_EQ(pool.bad_frees(), 3u);
+}
+
 TEST(hugepage_pool, bounds_checked_descriptors) {
   hugepage_pool pool{1};
   auto c = pool.alloc();

@@ -1,8 +1,12 @@
-// Unit tests for the discrete-event simulator and the cpu_core resource.
+// Unit tests for the discrete-event simulator, the cpu_core resource, and
+// the seeded chaos schedule.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "sim/chaos.hpp"
 #include "sim/cpu_core.hpp"
 #include "sim/simulator.hpp"
 
@@ -151,6 +155,74 @@ TEST(cpu_core, zero_cost_preserves_fifo) {
   core.execute(sim_time::zero(), [&] { order.push_back(2); });
   s.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// --- chaos schedule --------------------------------------------------------
+
+TEST(chaos_schedule, identical_seeds_replay_identical_timelines) {
+  auto run_once = [](std::uint64_t seed) {
+    simulator s;
+    chaos_schedule chaos{s, seed};
+    chaos.storm("storm", microseconds(10), microseconds(100), 8,
+                [](std::size_t) {});
+    chaos.pulse("pulse", microseconds(50), microseconds(20), [](bool) {});
+    chaos.at(microseconds(5), "single", [] {});
+    chaos.arm();
+    s.run();
+    std::vector<std::pair<long long, std::string>> fired;
+    for (const auto& ev : chaos.log()) {
+      fired.emplace_back(ev.at.count(), ev.name);
+    }
+    return fired;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));  // bit-for-bit replay
+  EXPECT_NE(run_once(7), run_once(8));  // the seed is the timeline
+}
+
+TEST(chaos_schedule, ties_fire_in_composition_order) {
+  simulator s;
+  chaos_schedule chaos{s, 1};
+  std::vector<int> order;
+  chaos.at(microseconds(10), "b", [&] { order.push_back(2); });
+  chaos.at(microseconds(5), "a", [&] { order.push_back(1); });
+  chaos.at(microseconds(10), "c", [&] { order.push_back(3); });
+  chaos.arm();
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  ASSERT_EQ(chaos.log().size(), 3u);
+  EXPECT_EQ(chaos.log()[0].name, "a");
+  EXPECT_EQ(chaos.log()[1].name, "b");
+  EXPECT_EQ(chaos.log()[2].name, "c");
+}
+
+TEST(chaos_schedule, storm_lands_in_window_and_pulse_brackets) {
+  simulator s;
+  chaos_schedule chaos{s, 42};
+  const sim_time start = microseconds(100);
+  const sim_time window = microseconds(400);
+  std::size_t fired = 0;
+  chaos.storm("burst", start, window, 16, [&](std::size_t) { ++fired; });
+  bool on = false;
+  sim_time on_at{}, off_at{};
+  chaos.pulse("exhaust", microseconds(20), microseconds(60), [&](bool v) {
+    on = v;
+    (v ? on_at : off_at) = s.now();
+  });
+  chaos.arm();
+  EXPECT_TRUE(chaos.armed());
+  EXPECT_EQ(chaos.entries(), 18u);  // 16 storm shots + pulse on/off
+  s.run();
+
+  EXPECT_EQ(fired, 16u);
+  for (const auto& ev : chaos.log()) {
+    if (ev.name.rfind("burst#", 0) == 0) {
+      EXPECT_GE(ev.at, start);
+      EXPECT_LT(ev.at, start + window);
+    }
+  }
+  EXPECT_FALSE(on);  // pulse ended off
+  EXPECT_EQ(on_at, microseconds(20));
+  EXPECT_EQ(off_at, microseconds(80));
 }
 
 }  // namespace

@@ -13,8 +13,17 @@
 // measured 2.61 Mb/s). The headline bar is a *Windows* VM whose traffic
 // runs BBR because the stack lives in a NetKernel NSM — impossible natively
 // (virt::natively_available(windows_server, bbr) == false).
+//
+// Extension (DESIGN.md §15): the flexibility claim covers whole protocols,
+// not just CC. A mixed phase runs a TCP NSM and an nkq NSM (UDP-based
+// reliable transport, QUIC-like streams) side by side on the same path at
+// 0.2% loss — per-transport goodput while competing for the 12 Mb/s
+// bottleneck, plus mice p99 FCT per transport under the same loss. All
+// bars land in BENCH_fig5.json.
 #include <cstdio>
+#include <fstream>
 
+#include "apps/flowgen.hpp"
 #include "apps/scenario.hpp"
 #include "apps/workloads.hpp"
 
@@ -80,6 +89,114 @@ double average_over_seeds(bool nk_path, virt::guest_os os,
   return sum / runs;
 }
 
+// --- mixed transports: TCP NSM vs nkq NSM on the same lossy path ---------------
+
+struct tenant_pair {
+  apps::nk_tenant tx;
+  apps::nk_tenant rx;
+};
+
+tenant_pair add_pair(apps::testbed& bed, const char* base,
+                     const std::string& transport, tcp::cc_algorithm cc) {
+  core::nsm_config nsm_cfg;
+  nsm_cfg.transport = transport;
+  nsm_cfg.cc = cc;
+  nsm_cfg.tcp = apps::wan_tcp(cc);
+  virt::vm_config vm_cfg;
+  tenant_pair out;
+  vm_cfg.name = std::string{base} + "-tx-vm";
+  nsm_cfg.name = std::string{"nsm-"} + base + "-tx";
+  out.tx = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = std::string{base} + "-rx-vm";
+  nsm_cfg.name = std::string{"nsm-"} + base + "-rx";
+  out.rx = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+  return out;
+}
+
+struct mixed_result {
+  double tcp_mbps = 0;
+  double nkq_mbps = 0;
+  double tcp_p99_us = 0;
+  double nkq_p99_us = 0;
+};
+
+// Both transports pour bulk flows into the 12 Mb/s bottleneck at the same
+// time; the split shows how the tenant-chosen protocol fares against the
+// default under 0.2% loss.
+mixed_result measure_mixed(std::uint64_t seed) {
+  constexpr double loss = 0.002;
+  mixed_result out;
+  {
+    apps::testbed bed{apps::wan_params(seed, loss)};
+    auto tcp_pair = add_pair(bed, "tcp", "tcp", tcp::cc_algorithm::cubic);
+    auto nkq_pair = add_pair(bed, "nkq", "nkq", tcp::cc_algorithm::bbr);
+
+    apps::bulk_sink tcp_sink{*tcp_pair.rx.api, 5001, false};
+    tcp_sink.start();
+    apps::bulk_sink nkq_sink{*nkq_pair.rx.api, 5002, false};
+    nkq_sink.start();
+    apps::bulk_sender_config scfg;
+    scfg.flows = 1;
+    scfg.bytes_per_flow = 0;
+    apps::bulk_sender tcp_tx{
+        *tcp_pair.tx.api,
+        {tcp_pair.rx.module->config().address, 5001},
+        scfg};
+    apps::bulk_sender nkq_tx{
+        *nkq_pair.tx.api,
+        {nkq_pair.rx.module->config().address, 5002},
+        scfg};
+    tcp_tx.start();
+    nkq_tx.start();
+
+    bed.run_for(seconds(15));
+    const std::uint64_t tcp_warm = tcp_sink.total_bytes();
+    const std::uint64_t nkq_warm = nkq_sink.total_bytes();
+    bed.run_for(seconds(10));
+    out.tcp_mbps =
+        rate_of(tcp_sink.total_bytes() - tcp_warm, seconds(10)).bps() / 1e6;
+    out.nkq_mbps =
+        rate_of(nkq_sink.total_bytes() - nkq_warm, seconds(10)).bps() / 1e6;
+  }
+  {
+    // Mice p99 FCT per transport on the same path: short flows feel the
+    // 0.2% loss through recovery latency (RTO vs PTO+packet-threshold).
+    apps::testbed bed{apps::wan_params(seed, loss)};
+    auto tcp_pair = add_pair(bed, "tcp", "tcp", tcp::cc_algorithm::cubic);
+    auto nkq_pair = add_pair(bed, "nkq", "nkq", tcp::cc_algorithm::bbr);
+
+    apps::flow_sink tcp_sink{*tcp_pair.rx.api, 7001};
+    tcp_sink.sim = &bed.sim();
+    tcp_sink.start();
+    apps::flow_sink nkq_sink{*nkq_pair.rx.api, 7002};
+    nkq_sink.sim = &bed.sim();
+    nkq_sink.start();
+
+    apps::flowgen_config fcfg;
+    fcfg.mix = apps::flow_mix::uniform;  // 1..64 KB mice
+    fcfg.flows = 30;
+    fcfg.arrivals_per_sec = 2;
+    fcfg.seed = seed;
+    apps::flow_generator tcp_gen{
+        *tcp_pair.tx.api, bed.sim(),
+        {tcp_pair.rx.module->config().address, 7001}, fcfg};
+    apps::flow_generator nkq_gen{
+        *nkq_pair.tx.api, bed.sim(),
+        {nkq_pair.rx.module->config().address, 7002}, fcfg};
+    tcp_gen.start();
+    nkq_gen.start();
+
+    for (int i = 0; i < 600 && (tcp_sink.completed() < fcfg.flows ||
+                                nkq_sink.completed() < fcfg.flows);
+         ++i) {
+      bed.run_for(milliseconds(100));
+    }
+    out.tcp_p99_us = tcp_sink.fct_us(apps::size_class::mice).p99();
+    out.nkq_p99_us = nkq_sink.fct_us(apps::size_class::mice).p99();
+  }
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -107,5 +224,35 @@ int main() {
               8.60);
   std::printf("%-28s %7.2f Mb/s %7.2f\n", "Linux Cubic (native)", linux_cubic,
               2.61);
+
+  const mixed_result mixed = measure_mixed(4242);
+  std::printf(
+      "\nmixed transports, same path at 0.2%% loss (TCP NSM vs nkq NSM):\n");
+  std::printf("%-28s %7.2f Mb/s   mice p99 FCT %8.1f us\n", "tcp NSM (cubic)",
+              mixed.tcp_mbps, mixed.tcp_p99_us);
+  std::printf("%-28s %7.2f Mb/s   mice p99 FCT %8.1f us\n", "nkq NSM (bbr)",
+              mixed.nkq_mbps, mixed.nkq_p99_us);
+
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"wan\": {\"uplink_mbps\": 12, \"rtt_ms\": 350},\n"
+      "  \"throughput_mbps\": {\n"
+      "    \"bbr_nsm_windows\": %.3f,\n"
+      "    \"linux_bbr_native\": %.3f,\n"
+      "    \"windows_ctcp_native\": %.3f,\n"
+      "    \"linux_cubic_native\": %.3f\n"
+      "  },\n"
+      "  \"mixed_0p2_loss\": {\n"
+      "    \"tcp_mbps\": %.3f, \"nkq_mbps\": %.3f,\n"
+      "    \"tcp_mice_p99_us\": %.1f, \"nkq_mice_p99_us\": %.1f\n"
+      "  }\n"
+      "}\n",
+      bbr_nsm, linux_bbr, win_ctcp, linux_cubic, mixed.tcp_mbps,
+      mixed.nkq_mbps, mixed.tcp_p99_us, mixed.nkq_p99_us);
+  std::ofstream jout{"BENCH_fig5.json"};
+  jout << buf;
+  std::printf("\nsnapshot: BENCH_fig5.json\n");
   return 0;
 }

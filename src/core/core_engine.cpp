@@ -281,6 +281,7 @@ std::vector<core_engine::flow_row> core_engine::flow_table() {
       row.nsm = id;
       row.cid = rec.cid;
       row.info = std::move(rec.info);
+      row.transport = row.info.transport;
       out.push_back(std::move(row));
     }
   }
@@ -305,7 +306,8 @@ nsm& core_engine::create_nsm(const nsm_config& cfg) {
   auto module = std::make_unique<nsm>(host_, next_nsm_id_++, cfg);
   nsm& ref = *module;
   auto service = std::make_unique<service_lib>(
-      ref, sim_, cfg_.costs, cfg_.notification, &tracer_, cfg_.overflow_limit);
+      ref, sim_, cfg_.costs, cfg_.notification, &tracer_, cfg_.overflow_limit,
+      cfg.quota ? *cfg.quota : cfg_.quota);
   service->set_sla_manager(&sla_);
   service->start();
   services_[ref.id()] = std::move(service);
@@ -325,7 +327,9 @@ nsm& core_engine::create_nsm(const nsm_config& cfg) {
     return cores > 0 ? util / cores : 0.0;
   });
   ref.stack().register_metrics(metrics_, p + "_stack");
-  log_info("core_engine: created nsm ", ref.id(), " (", ref.name(), ")");
+  ref.transport().register_metrics(metrics_, p + "_transport");
+  log_info("core_engine: created nsm ", ref.id(), " (", ref.name(),
+           ", transport=", ref.transport().kind(), ")");
   return ref;
 }
 
@@ -446,6 +450,19 @@ guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
   metrics_.register_gauge_fn(p + "_nsm_staged_out", [service, id = vm.id()] {
     return static_cast<double>(service->staged_depth(id));
   });
+  // Tenant-quota gauges (tenant_quota_config): current-period NSM cycles
+  // and huge-page chunks held. Exported even with quotas disabled (both
+  // read zero / raw occupancy), so dashboards need no conditional wiring.
+  metrics_.register_gauge_fn(p + "_cycle_budget_used",
+                             [service, id = vm.id()] {
+                               return static_cast<double>(
+                                   service->cycle_budget_used(id));
+                             });
+  metrics_.register_gauge_fn(p + "_chunk_quota_used",
+                             [service, id = vm.id()] {
+                               return static_cast<double>(
+                                   service->chunk_quota_used(id));
+                             });
 
   // Abuse record + firewall gauges. Heap-allocated like the overflow
   // stages, so the closures stay valid across rehashes of attachments_.
@@ -1436,6 +1453,15 @@ void core_engine::switch_over(nsm_id old_id, nsm_id new_id, sim_time started) {
     metrics_.register_gauge_fn(
         "vm" + std::to_string(vm) + "_nsm_staged_out",
         [next, id = vm] { return static_cast<double>(next->staged_depth(id)); });
+    // Quota gauges point at the replacement module too.
+    metrics_.register_gauge_fn(
+        "vm" + std::to_string(vm) + "_cycle_budget_used", [next, id = vm] {
+          return static_cast<double>(next->cycle_budget_used(id));
+        });
+    metrics_.register_gauge_fn(
+        "vm" + std::to_string(vm) + "_chunk_quota_used", [next, id = vm] {
+          return static_cast<double>(next->chunk_quota_used(id));
+        });
 
     // Partition this VM's flows: journals reconstruct listeners, datagram
     // bindings and not-yet-connected sockets on the new module; connection

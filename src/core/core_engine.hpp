@@ -102,6 +102,9 @@ struct core_engine_config {
   std::size_t shards = 1;
   // Hostile-tenant hardening at the guest/provider boundary.
   firewall_config firewall{};
+  // Per-tenant cycle/chunk quotas at the ServiceLib boundary (tenant-defined
+  // protocols must not starve NSM neighbors; exhaustion = backpressure).
+  tenant_quota_config quota{};
 };
 
 struct core_engine_stats {
@@ -328,6 +331,7 @@ class core_engine {
     std::uint32_t fd = 0;
     nsm_id nsm = 0;
     std::uint32_t cid = 0;
+    std::string transport;  // registry name of the serving protocol
     obs::nk_flow_info info;
   };
   [[nodiscard]] std::vector<flow_row> flow_table();

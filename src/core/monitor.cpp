@@ -16,6 +16,7 @@ std::string_view to_string(alert_kind k) {
     case alert_kind::nsm_failed: return "nsm_failed";
     case alert_kind::slo_burn: return "slo_burn";
     case alert_kind::vm_quarantined: return "vm_quarantined";
+    case alert_kind::tenant_quota_exceeded: return "tenant_quota_exceeded";
   }
   return "unknown";
 }
@@ -24,7 +25,8 @@ std::ostream& operator<<(std::ostream& os, const alert& a) {
   os << "[" << a.at.count() << "ns] " << to_string(a.kind) << " nsm="
      << a.module;
   if (a.kind == alert_kind::channel_stalled ||
-      a.kind == alert_kind::vm_quarantined) {
+      a.kind == alert_kind::vm_quarantined ||
+      a.kind == alert_kind::tenant_quota_exceeded) {
     os << " vm=" << a.vm;
   }
   return os << ": " << a.detail;
@@ -57,6 +59,7 @@ void health_monitor::tick() {
   check_channels();
   check_failures();
   check_quarantines();
+  check_quotas();
   timer_ = engine_.simulator().schedule(cfg_.interval, [this] { tick(); });
 }
 
@@ -277,6 +280,49 @@ void health_monitor::check_quarantines() {
     a.detail = "vm " + std::to_string(rec.vm) + " quarantined: " + rec.reason +
                " (" + std::to_string(rec.violations) + " violations)";
     emit(std::move(a));
+  }
+}
+
+void health_monitor::check_quotas() {
+  // New quota trips since the last tick: each ServiceLib keeps an
+  // append-only quota_log() of rising-edge events (a tenant crossing its
+  // cycle budget or chunk-pool quota); a per-NSM watermark turns the log
+  // into alerts exactly once. Quota exhaustion is backpressure, never
+  // loss — the alert exists so the provider sees a throttled tenant, with
+  // the serving NSM's flight-recorder ring captured at trip time.
+  for (const auto& module : engine_.nsms()) {
+    service_lib* svc = engine_.service_of(module->id());
+    if (svc == nullptr) continue;
+    const auto& log = svc->quota_log();
+    for (auto& seen = quota_seen_[module->id()]; seen < log.size(); ++seen) {
+      const quota_event& ev = log[seen];
+      std::string snap = engine_.recorder().snapshot_json(
+          module->id(), engine_.simulator().now());
+      if (!cfg_.flight_recorder_dir.empty()) {
+        const std::string path = cfg_.flight_recorder_dir + "/quota_vm" +
+                                 std::to_string(ev.vm) + ".json";
+        std::ofstream out(path);
+        if (out) {
+          out << snap;
+        } else {
+          log_warn("health_monitor: cannot write quota dump ", path);
+        }
+      }
+      quota_snapshots_[ev.vm] = std::move(snap);
+
+      alert a;
+      a.kind = alert_kind::tenant_quota_exceeded;
+      a.at = ev.at;
+      a.module = module->id();
+      a.vm = ev.vm;
+      a.detail = "vm " + std::to_string(ev.vm) +
+                 (ev.cycles ? " exceeded cycle budget: used "
+                            : " exceeded chunk quota: held ") +
+                 std::to_string(ev.observed) + " of " +
+                 std::to_string(ev.limit) +
+                 (ev.cycles ? "ns this period" : " chunks");
+      emit(std::move(a));
+    }
   }
 }
 

@@ -40,6 +40,7 @@ enum class alert_kind {
   nsm_failed,
   slo_burn,
   vm_quarantined,
+  tenant_quota_exceeded,
 };
 
 [[nodiscard]] std::string_view to_string(alert_kind k);
@@ -48,7 +49,8 @@ struct alert {
   alert_kind kind{};
   sim_time at{};
   nsm_id module = 0;
-  virt::vm_id vm = 0;  // set for channel_stalled and vm_quarantined
+  virt::vm_id vm = 0;  // set for channel_stalled, vm_quarantined and
+                       // tenant_quota_exceeded
   std::string detail;
 };
 
@@ -141,12 +143,22 @@ class health_monitor {
     return quarantine_snapshots_;
   }
 
+  // Flight-recorder snapshots captured by check_quotas() when a tenant
+  // first tripped its cycle or chunk quota (rising edge per quota_event).
+  // Keyed by the throttled VM's id; value is the serving NSM's
+  // flight_recorder::snapshot_json() at alert time.
+  [[nodiscard]] const std::unordered_map<virt::vm_id, std::string>&
+  quota_snapshots() const {
+    return quota_snapshots_;
+  }
+
  private:
   void tick();
   void sample_nsm(nsm& module);
   void check_channels();
   void check_failures();
   void check_quarantines();
+  void check_quotas();
   void on_slo_burn(const obs::slo_status& st);
   void emit(alert a);
 
@@ -167,6 +179,9 @@ class health_monitor {
   std::unordered_map<nsm_id, std::string> crash_snapshots_;
   std::size_t quarantine_seen_ = 0;  // watermark into engine quarantine_log()
   std::unordered_map<virt::vm_id, std::string> quarantine_snapshots_;
+  // Per-NSM watermark into each service_lib's quota_log().
+  std::unordered_map<nsm_id, std::size_t> quota_seen_;
+  std::unordered_map<virt::vm_id, std::string> quota_snapshots_;
   std::vector<alert> alerts_;
   std::vector<alert_handler> handlers_;
   const obs::slo_engine* slo_ = nullptr;

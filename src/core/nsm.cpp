@@ -1,5 +1,7 @@
 #include "core/nsm.hpp"
 
+#include "nkq/transport.hpp"
+
 namespace nk::core {
 
 nsm::nsm(virt::hypervisor& host, nsm_id id, const nsm_config& cfg)
@@ -29,6 +31,12 @@ nsm::nsm(virt::hypervisor& host, nsm_id id, const nsm_config& cfg)
                                              cfg.address);
   stack_->bind_netdev(vnic_);
   for (auto* core : cores_) stack_->add_core(*core);
+
+  // Tenant-selected protocol. A bad name throws here, at provisioning time
+  // (tenant configuration error), never at serving time.
+  nkq::ensure_registered();
+  transport_ =
+      stack::transport_registry::instance().create(cfg_.transport, *stack_);
 
   host.attach_netdev(vnic_, cfg.address, cfg.sriov);
 }

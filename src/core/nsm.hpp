@@ -9,12 +9,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/units.hpp"
 #include "phys/nic.hpp"
 #include "sim/cpu_core.hpp"
 #include "stack/netstack.hpp"
+#include "stack/transport.hpp"
 #include "tcp/cc/congestion_controller.hpp"
 #include "virt/hypervisor.hpp"
 
@@ -60,9 +63,28 @@ struct form_profile {
   return {};
 }
 
+// Per-tenant resource quotas enforced at the ServiceLib boundary. Set
+// engine-wide via core_engine_config::quota, or per NSM via
+// nsm_config::quota (the per-NSM value wins when present).
+struct tenant_quota_config {
+  bool enabled = false;
+  // NSM-core cycles a VM may consume per accounting period. Includes op
+  // dispatch and payload memcpy, the two Table 1 cost classes.
+  sim_time cycle_budget = microseconds(300);
+  sim_time period = milliseconds(1);
+  // Max huge-page chunks a VM may hold in flight (0: unlimited). Reads
+  // stall at the cap; the pool itself stays the hard backstop.
+  std::size_t chunk_quota = 0;
+};
+
 struct nsm_config {
   std::string name = "nsm";
   nsm_form form = nsm_form::vm;
+  // Transport-registry name of the protocol this NSM serves ("tcp", "nkq",
+  // ...). Unknown names throw std::invalid_argument at NSM creation.
+  std::string transport = "tcp";
+  // Per-NSM quota override; nullopt inherits the engine-wide config.
+  std::optional<tenant_quota_config> quota{};
   tcp::cc_algorithm cc = tcp::cc_algorithm::cubic;
   tcp::tcp_config tcp{};  // `cc` above is applied onto this
   int cores = 1;          // prototype: one dedicated core per NSM
@@ -89,6 +111,10 @@ class nsm {
   [[nodiscard]] tcp::cc_algorithm cc() const { return cfg_.tcp.cc; }
 
   [[nodiscard]] stack::netstack& stack() { return *stack_; }
+  // The protocol implementation ServiceLib drives. For transport="tcp" this
+  // is a thin adapter over stack(); for tenant-defined protocols (nkq) it
+  // owns its own connection state on top of the stack's UDP plane.
+  [[nodiscard]] stack::transport& transport() { return *transport_; }
   [[nodiscard]] phys::nic& vnic() { return vnic_; }
   [[nodiscard]] sim::cpu_core* core(std::size_t i = 0) {
     return i < cores_.size() ? cores_[i] : nullptr;
@@ -110,6 +136,7 @@ class nsm {
   phys::nic vnic_;
   std::vector<sim::cpu_core*> cores_;
   std::unique_ptr<stack::netstack> stack_;
+  std::unique_ptr<stack::transport> transport_;
   sim_time ready_at_{};
 };
 

@@ -16,11 +16,13 @@ constexpr std::size_t drain_batch = 64;
 service_lib::service_lib(nsm& owner, sim::simulator& s,
                          const netkernel_costs& costs,
                          const notify_config& ncfg, obs::nqe_tracer* tracer,
-                         std::size_t overflow_limit)
+                         std::size_t overflow_limit,
+                         const tenant_quota_config& quota)
     : nsm_{owner},
       sim_{s},
       costs_{costs},
       overflow_limit_{overflow_limit},
+      quota_{quota},
       tracer_{tracer} {
   pump_ = std::make_unique<queue_pump>(s, ncfg, [this] { return drain_jobs(); });
 }
@@ -67,7 +69,7 @@ void service_lib::detach_channel(virt::vm_id vm) {
   for (const std::uint32_t cid : cids) {
     auto* ps = socket_by_cid(cid);
     if (ps == nullptr) continue;
-    if (ps->ssock != 0) (void)nsm_.stack().close(ps->ssock);
+    if (ps->ssock != 0) (void)nsm_.transport().close(ps->ssock);
     if (tracer_ != nullptr) {
       for (const auto& tx : ps->pending_send) tracer_->finish(tx.trace);
     }
@@ -91,7 +93,7 @@ void service_lib::fail() {
   // here — a crashed stack cannot report its own death; the provider-side
   // watchdog and CoreEngine's failover abort path notify the tenants.
   for (auto& [cid, ps] : sockets_) {
-    if (ps.ssock != 0) (void)nsm_.stack().abort(ps.ssock);
+    if (ps.ssock != 0) (void)nsm_.transport().abort(ps.ssock);
     if (tracer_ != nullptr) {
       for (const auto& tx : ps.pending_send) tracer_->finish(tx.trace);
     }
@@ -115,7 +117,7 @@ std::vector<service_lib::flow_record> service_lib::flow_table() {
   out.reserve(sockets_.size());
   for (const auto& [cid, ps] : sockets_) {
     if (ps.listener || ps.udp || ps.ssock == 0) continue;
-    auto fi = nsm_.stack().flow_info(ps.ssock);
+    auto fi = nsm_.transport().flow_info(ps.ssock);
     if (!fi.has_value()) continue;
     out.push_back(flow_record{cid, ps.vm, std::move(*fi)});
   }
@@ -144,9 +146,80 @@ bool service_lib::quiescent() const {
 }
 
 void service_lib::start() {
-  nsm_.stack().set_event_handler(
+  nsm_.transport().set_event_handler(
       [this](const stack::socket_event& ev) { handle_stack_event(ev); });
   pump_->start();
+}
+
+// --- tenant quotas -------------------------------------------------------------
+
+bool service_lib::cycle_budget_exhausted(served_vm& svm) {
+  if (!quota_.enabled) return false;
+  if (sim_.now() >= svm.period_start + quota_.period) {
+    svm.period_start = sim_.now();
+    svm.cycles_used = sim_time::zero();
+    svm.over_budget = false;
+  }
+  return svm.over_budget;
+}
+
+void service_lib::charge_cycles(served_vm& svm, sim_time cost) {
+  if (!quota_.enabled) return;
+  (void)cycle_budget_exhausted(svm);  // roll the window
+  svm.cycles_used += cost;
+  if (svm.over_budget || svm.cycles_used < quota_.cycle_budget) return;
+  // Rising edge: this period's budget is spent. Jobs stay in the rings and
+  // reads stall; a period-end wakeup resumes them.
+  svm.over_budget = true;
+  ++stats_.cycle_throttles;
+  quota_log_.push_back(quota_event{
+      svm.ch->vm_id, sim_.now(), /*cycles=*/true,
+      static_cast<std::uint64_t>(svm.cycles_used.count()),
+      static_cast<std::uint64_t>(quota_.cycle_budget.count())});
+  if (!svm.quota_wake_armed) {
+    svm.quota_wake_armed = true;
+    const virt::vm_id vm = svm.ch->vm_id;
+    sim_.schedule_at(svm.period_start + quota_.period, [this, vm] {
+      if (auto it = vms_.find(vm); it != vms_.end()) {
+        it->second.quota_wake_armed = false;
+        (void)drain_jobs();
+        maybe_resume_stalled(it->second);
+      }
+    });
+  }
+}
+
+bool service_lib::chunk_quota_hit(served_vm& svm) {
+  if (!quota_.enabled || quota_.chunk_quota == 0) return false;
+  const std::size_t held =
+      svm.ch->pool.chunk_count() - svm.ch->pool.chunks_free();
+  if (held < quota_.chunk_quota) {
+    svm.chunk_over = false;
+    return false;
+  }
+  if (!svm.chunk_over) {
+    svm.chunk_over = true;
+    quota_log_.push_back(quota_event{svm.ch->vm_id, sim_.now(),
+                                     /*cycles=*/false, held,
+                                     quota_.chunk_quota});
+  }
+  return true;
+}
+
+std::uint64_t service_lib::cycle_budget_used(virt::vm_id vm) const {
+  auto it = vms_.find(vm);
+  if (it == vms_.end()) return 0;
+  const served_vm& svm = it->second;
+  // A stale window means no charge this period: report zero, not leftovers.
+  if (sim_.now() >= svm.period_start + quota_.period) return 0;
+  return static_cast<std::uint64_t>(svm.cycles_used.count());
+}
+
+std::uint64_t service_lib::chunk_quota_used(virt::vm_id vm) const {
+  auto it = vms_.find(vm);
+  if (it == vms_.end()) return 0;
+  return it->second.ch->pool.chunk_count() -
+         it->second.ch->pool.chunks_free();
 }
 
 sim_time service_lib::op_cost() const {
@@ -241,10 +314,11 @@ std::size_t service_lib::flush_staged(served_vm& svm) {
 
 void service_lib::maybe_resume_stalled(served_vm& svm) {
   if (svm.stalled_reads.empty()) return;
-  // A read stalls on chunk exhaustion or out-queue pressure; resume once
-  // both have cleared on the socket's own lane. (Also covers wakeups lost
-  // to a dropped recycle nqe.)
+  // A read stalls on chunk exhaustion, quota exhaustion or out-queue
+  // pressure; resume once all have cleared on the socket's own lane. (Also
+  // covers wakeups lost to a dropped recycle nqe.)
   if (svm.ch->pool.chunks_free() == 0) return;
+  if (cycle_budget_exhausted(svm) || chunk_quota_hit(svm)) return;
   auto stalled = std::move(svm.stalled_reads);
   svm.stalled_reads.clear();
   for (const std::uint32_t cid : stalled) {
@@ -318,6 +392,11 @@ std::size_t service_lib::drain_jobs() {
     // reads the cleared pressure had stalled.
     total += flush_staged(svm);
     maybe_resume_stalled(svm);
+    if (cycle_budget_exhausted(svm)) {
+      // Budget spent: jobs wait in the rings (pure backpressure, no drop);
+      // the period-end wakeup armed by charge_cycles resumes the drain.
+      continue;
+    }
     shm::nqe e;
     std::size_t n = 0;
     auto* core = nsm_.core();
@@ -325,6 +404,7 @@ std::size_t service_lib::drain_jobs() {
     // sole consumer of each nsm_q(s).job ring. The lane a job arrives on is
     // the flow's home shard; handle_nqe learns steering from it.
     for (std::size_t s = 0; s < svm.lanes.size(); ++s) {
+      if (svm.over_budget) break;  // budget spent mid-drain on an earlier lane
       while (n < drain_batch) {
         if (core != nullptr && core->backlog() > backlog_bound) {
           left_behind =
@@ -351,8 +431,10 @@ std::size_t service_lib::drain_jobs() {
         if (tracer_ != nullptr) {
           tracer_->stamp(e.reserved, obs::nqe_stage::nsm_job_dwell);
         }
-        // Charge the dispatch to the NSM core, then execute. FIFO execution
-        // on the core preserves per-socket operation order.
+        // Charge the dispatch to the NSM core (and the VM's cycle budget),
+        // then execute. FIFO execution on the core preserves per-socket
+        // operation order.
+        charge_cycles(svm, op_cost());
         if (core != nullptr) {
           core->execute(op_cost(), [this, vm_id = vm, s, e] {
             if (auto it = vms_.find(vm_id); it != vms_.end()) {
@@ -362,6 +444,7 @@ std::size_t service_lib::drain_jobs() {
         } else {
           handle_nqe(svm, s, e);
         }
+        if (svm.over_budget) break;  // this nqe spent the budget; stop here
       }
       if (n >= drain_batch) {
         left_behind = left_behind || !svm.ch->nsm_q(s).job.empty_approx();
@@ -399,7 +482,7 @@ void service_lib::handle_nqe(served_vm& svm, std::size_t shard,
                              const shm::nqe& e) {
   NK_PROF("servicelib", "dispatch");
   ++stats_.ops_processed;
-  auto& stack = nsm_.stack();
+  auto& stack = nsm_.transport();
 
   // Forward traces end here, once the op has been dispatched into the
   // stack — except req_send, which finishes when the stack accepts the
@@ -475,7 +558,7 @@ void service_lib::handle_nqe(served_vm& svm, std::size_t shard,
       if (ps == nullptr || ps->bound_port == 0) {
         out.status = -static_cast<std::int32_t>(errc::invalid_argument);
       } else {
-        auto r = stack.tcp_listen(ps->bound_port, ps->cfg);
+        auto r = stack.listen(ps->bound_port, ps->cfg);
         if (r) {
           ps->ssock = r.value();
           ps->listener = true;
@@ -506,7 +589,7 @@ void service_lib::handle_nqe(served_vm& svm, std::size_t shard,
         const net::socket_addr remote{
             net::ipv4_addr{static_cast<std::uint32_t>(e.arg0)},
             static_cast<std::uint16_t>(e.arg1)};
-        auto r = stack.tcp_connect(remote, ps->cfg);
+        auto r = stack.connect(remote, ps->cfg);
         if (r) {
           ps->ssock = r.value();
           by_ssock_[ps->ssock] = ps->cid;
@@ -543,6 +626,7 @@ void service_lib::handle_nqe(served_vm& svm, std::size_t shard,
       }
       buffer data = buffer::copy_of(span.value());
       (void)svm.ch->pool.free(e.desc.chunk);
+      charge_cycles(svm, costs_.memcpy_cost(data.size()));
       if (auto* core = nsm_.core(); core != nullptr) {
         // Account the ServiceLib-side chunk copy.
         core->execute(costs_.memcpy_cost(data.size()), [] {});
@@ -596,6 +680,7 @@ void service_lib::handle_nqe(served_vm& svm, std::size_t shard,
       }
       buffer data = buffer::copy_of(span.value());
       (void)svm.ch->pool.free(e.desc.chunk);
+      charge_cycles(svm, costs_.memcpy_cost(data.size()));
       if (auto* core = nsm_.core(); core != nullptr) {
         core->execute(costs_.memcpy_cost(data.size()), [] {});
       }
@@ -630,6 +715,12 @@ void service_lib::handle_nqe(served_vm& svm, std::size_t shard,
     case shm::nqe_op::req_close: {
       auto* ps = socket_by_cid(e.handle);
       if (ps != nullptr) {
+        if (!ps->pending_send.empty()) {
+          // Parked sends were queued ahead of this close; deliver them
+          // first (try_deliver_sends finishes the close when it drains).
+          ps->close_pending = true;
+          return;
+        }
         if (ps->ssock != 0) (void)stack.close(ps->ssock);
         drop_socket(e.handle);
       }
@@ -662,7 +753,7 @@ void service_lib::handle_stack_event(const stack::socket_event& ev) {
       return;
     }
     case stack::socket_event_type::accept_ready: {
-      auto& stack = nsm_.stack();
+      auto& stack = nsm_.transport();
       // Inserting children below may rehash sockets_, invalidating ps; keep
       // the listener's fields by value.
       const std::uint32_t listener_cid = ps->cid;
@@ -690,9 +781,9 @@ void service_lib::handle_stack_event(const stack::socket_event& ev) {
         out.op = shm::nqe_op::ev_accept;
         out.handle = listener_cid;  // listener
         out.arg0 = cid;             // the new connection
-        if (auto* t = stack.tcb_of(r.value())) {
-          out.arg1 = (std::uint64_t{t->tuple().remote.ip.value} << 16) |
-                     t->tuple().remote.port;
+        if (auto remote = stack.remote_of(r.value())) {
+          out.arg1 =
+              (std::uint64_t{remote->ip.value} << 16) | remote->port;
         }
         ++stats_.accept_events;
         // The event rides the child's home lane, not the listener's: its
@@ -733,7 +824,7 @@ void service_lib::pump_reads(proto_socket& ps) {
   auto vit = vms_.find(ps.vm);
   if (vit == vms_.end()) return;
   served_vm& svm = vit->second;
-  auto& stack = nsm_.stack();
+  auto& stack = nsm_.transport();
   const std::size_t chunk_size = svm.ch->pool.chunk_size();
   const std::size_t shard = ps.shard;
 
@@ -744,6 +835,19 @@ void service_lib::pump_reads(proto_socket& ps) {
       // the VM returns a chunk.
       svm.stalled_reads.insert(ps.cid);
       ++stats_.chunk_stalls;
+      return;
+    }
+    if (cycle_budget_exhausted(svm)) {
+      // Cycle quota: data stays in the transport's receive buffer (its
+      // flow-control window closes toward the peer) — backpressure, not
+      // loss. The period-end wakeup resumes the read.
+      svm.stalled_reads.insert(ps.cid);
+      ++stats_.quota_stalls;
+      return;
+    }
+    if (chunk_quota_hit(svm)) {
+      svm.stalled_reads.insert(ps.cid);
+      ++stats_.chunk_quota_stalls;
       return;
     }
     if (receive_pressured(svm, shard)) {
@@ -783,6 +887,7 @@ void service_lib::pump_reads(proto_socket& ps) {
     stats_.bytes_from_stack += data.size();
     ++stats_.data_events;
     if (sla_ != nullptr) sla_->record_receive(ps.vm, data.size());
+    charge_cycles(svm, costs_.memcpy_cost(data.size()));
 
     shm::nqe out;
     out.op = shm::nqe_op::ev_data;
@@ -809,7 +914,7 @@ void service_lib::pump_udp_reads(proto_socket& ps) {
   auto vit = vms_.find(ps.vm);
   if (vit == vms_.end()) return;
   served_vm& svm = vit->second;
-  auto& stack = nsm_.stack();
+  auto& stack = nsm_.transport();
   const std::size_t chunk_size = svm.ch->pool.chunk_size();
   const std::size_t shard = ps.shard;
 
@@ -817,6 +922,16 @@ void service_lib::pump_udp_reads(proto_socket& ps) {
     if (svm.ch->pool.chunks_free() == 0) {
       svm.stalled_reads.insert(ps.cid);
       ++stats_.chunk_stalls;
+      return;
+    }
+    if (cycle_budget_exhausted(svm)) {
+      svm.stalled_reads.insert(ps.cid);
+      ++stats_.quota_stalls;
+      return;
+    }
+    if (chunk_quota_hit(svm)) {
+      svm.stalled_reads.insert(ps.cid);
+      ++stats_.chunk_quota_stalls;
       return;
     }
     if (receive_pressured(svm, shard)) {
@@ -837,6 +952,7 @@ void service_lib::pump_udp_reads(proto_socket& ps) {
     stats_.bytes_from_stack += data.size();
     ++stats_.data_events;
     if (sla_ != nullptr) sla_->record_receive(ps.vm, data.size());
+    charge_cycles(svm, costs_.memcpy_cost(data.size()));
 
     shm::nqe out;
     out.op = shm::nqe_op::ev_udp_data;
@@ -865,7 +981,7 @@ void service_lib::try_deliver_sends(proto_socket& ps) {
   auto vit = vms_.find(ps.vm);
   if (vit == vms_.end()) return;
   served_vm& svm = vit->second;
-  auto& stack = nsm_.stack();
+  auto& stack = nsm_.transport();
 
   while (!ps.pending_send.empty()) {
     auto& [data, token, original, trace] = ps.pending_send.front();
@@ -900,6 +1016,10 @@ void service_lib::try_deliver_sends(proto_socket& ps) {
         for (const auto& tx : ps.pending_send) tracer_->finish(tx.trace);
       }
       ps.pending_send.clear();
+      if (ps.close_pending) {
+        if (ps.ssock != 0) (void)stack.close(ps.ssock);
+        drop_socket(ps.cid);  // invalidates ps
+      }
       return;
     }
     const std::size_t accepted = r.value();
@@ -921,6 +1041,11 @@ void service_lib::try_deliver_sends(proto_socket& ps) {
     out.arg0 = original;
     push_completion(svm, ps.shard, out);
     ps.pending_send.pop_front();
+  }
+
+  if (ps.close_pending) {
+    if (ps.ssock != 0) (void)stack.close(ps.ssock);
+    drop_socket(ps.cid);  // invalidates ps
   }
 }
 

@@ -28,6 +28,22 @@
 
 namespace nk::core {
 
+// Per-tenant resource quotas enforced at the ServiceLib boundary (the
+// tenant-defined-protocol trust story: a cycle-hungry transport plugin must
+// not starve its NSM neighbors). Exhaustion is pure backpressure — jobs wait
+// in the rings, reads wait in the stack's receive buffer — never silent
+// loss, so the accounting invariant is untouched by throttling.
+// Rising-edge record of a quota trip (monitor alert source).
+// (tenant_quota_config itself lives in core/nsm.hpp so nsm_config can
+// carry a per-NSM override.)
+struct quota_event {
+  virt::vm_id vm = 0;
+  sim_time at{};
+  bool cycles = true;  // false: chunk quota
+  std::uint64_t observed = 0;
+  std::uint64_t limit = 0;
+};
+
 struct service_lib_stats {
   std::uint64_t ops_processed = 0;
   std::uint64_t bytes_to_stack = 0;    // app payload handed to the stack
@@ -43,13 +59,18 @@ struct service_lib_stats {
   // Outputs refused because their descriptor named a pool that is not the
   // destination channel's (pool-key isolation, DESIGN.md §14).
   std::uint64_t chunk_key_mismatch = 0;
+  // Tenant-quota backpressure (tenant_quota_config).
+  std::uint64_t cycle_throttles = 0;     // periods in which a VM hit its budget
+  std::uint64_t quota_stalls = 0;        // reads stalled on cycle exhaustion
+  std::uint64_t chunk_quota_stalls = 0;  // reads stalled at the chunk cap
 };
 
 class service_lib {
  public:
   service_lib(nsm& owner, sim::simulator& s, const netkernel_costs& costs,
               const notify_config& ncfg, obs::nqe_tracer* tracer = nullptr,
-              std::size_t overflow_limit = 1024);
+              std::size_t overflow_limit = 1024,
+              const tenant_quota_config& quota = {});
 
   service_lib(const service_lib&) = delete;
   service_lib& operator=(const service_lib&) = delete;
@@ -120,6 +141,16 @@ class service_lib {
   // Unknown cids are ignored.
   void set_flow_shard(std::uint32_t cid, std::size_t shard);
 
+  // Tenant-quota introspection (monitor + gauges). The log is append-only;
+  // the monitor consumes it with a watermark like the quarantine log.
+  [[nodiscard]] const std::vector<quota_event>& quota_log() const {
+    return quota_log_;
+  }
+  // NSM-core nanoseconds this VM consumed in the current period.
+  [[nodiscard]] std::uint64_t cycle_budget_used(virt::vm_id vm) const;
+  // Huge-page chunks this VM currently holds (pool occupancy).
+  [[nodiscard]] std::uint64_t chunk_quota_used(virt::vm_id vm) const;
+
  private:
   // Out-ring overflow staging for one shard lane: flushed, in order, before
   // any new push to that lane.
@@ -134,6 +165,12 @@ class service_lib {
     std::uint8_t epoch = 0;  // incarnation tag stamped on every output
     std::unordered_set<std::uint32_t> stalled_reads;  // cids awaiting chunks
     std::vector<out_lane> lanes;  // one per engine shard (ch->shards())
+    // Tenant-quota accounting (tenant_quota_config; period-windowed).
+    sim_time period_start{};
+    sim_time cycles_used{};
+    bool over_budget = false;      // cycle budget exhausted this period
+    bool quota_wake_armed = false;  // period-end re-drain timer pending
+    bool chunk_over = false;        // rising-edge latch for the chunk cap
   };
 
   struct pending_tx {
@@ -153,6 +190,10 @@ class service_lib {
     bool udp = false;
     std::deque<pending_tx> pending_send;
     bool sla_retry_armed = false;
+    // Guest closed while sends were still parked in pending_send: finish
+    // delivering them, then close (a req_close must never outrun the
+    // req_sends queued ahead of it and drop their bytes).
+    bool close_pending = false;
     // Home engine shard: learned from the job-ring lane the creating request
     // arrived on; accepted children are steered by shm::nsm_shard. All of
     // this socket's outputs go out the home lane.
@@ -200,6 +241,16 @@ class service_lib {
            svm.ch->nsm_q(shard).receive.space_approx() == 0;
   }
 
+  // Quota plumbing: charges `cost` against the VM's cycle budget (rolling
+  // the period window), latching over_budget + logging on the rising edge
+  // and arming a period-end wakeup so throttled work resumes by itself.
+  void charge_cycles(served_vm& svm, sim_time cost);
+  // True when the VM sits at its chunk cap; logs the rising edge.
+  [[nodiscard]] bool chunk_quota_hit(served_vm& svm);
+  // Rolls the period window if expired, then reports whether the VM is
+  // still over its cycle budget (a fresh window is never over).
+  [[nodiscard]] bool cycle_budget_exhausted(served_vm& svm);
+
   [[nodiscard]] proto_socket* socket_by_cid(std::uint32_t cid);
   [[nodiscard]] proto_socket* socket_by_ssock(stack::socket_id s);
   void drop_socket(std::uint32_t cid);
@@ -209,6 +260,8 @@ class service_lib {
   sim::simulator& sim_;
   netkernel_costs costs_;
   std::size_t overflow_limit_;
+  tenant_quota_config quota_;
+  std::vector<quota_event> quota_log_;
   obs::nqe_tracer* tracer_ = nullptr;
   std::unique_ptr<queue_pump> pump_;
   sla_manager* sla_ = nullptr;

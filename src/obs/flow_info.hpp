@@ -16,8 +16,14 @@
 namespace nk::obs {
 
 struct nk_flow_info {
-  // Identity / algorithm. Both strings come from compile-time to_string
-  // tables (tcp_state, cc name), so they are JSON-safe without escaping.
+  // Identity / algorithm. All three strings come from compile-time
+  // to_string tables (transport kind, tcp_state / nkq state, cc name), so
+  // they are JSON-safe without escaping. `transport` is the registry name
+  // of the protocol that filled this row ("tcp", "nkq", ...): the flow
+  // table is transport-agnostic, fields keep their closest-equivalent
+  // meaning (retransmits = fast retransmits + timeouts for TCP, lost
+  // packets recovered by pn-threshold/PTO for nkq).
+  std::string transport = "tcp";
   std::string state;
   std::string cc;
 
@@ -52,7 +58,8 @@ struct nk_flow_info {
 
   [[nodiscard]] std::string to_json() const {
     std::ostringstream os;
-    os << "{\"state\":\"" << state << "\",\"cc\":\"" << cc
+    os << "{\"transport\":\"" << transport << "\",\"state\":\"" << state
+       << "\",\"cc\":\"" << cc
        << "\",\"srtt_ns\":" << srtt_ns << ",\"rttvar_ns\":" << rttvar_ns
        << ",\"cwnd_bytes\":" << cwnd_bytes
        << ",\"ssthresh_bytes\":" << ssthresh_bytes

@@ -1,0 +1,56 @@
+#include "stack/transport.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nk::stack {
+
+transport_registry& transport_registry::instance() {
+  static transport_registry reg;
+  return reg;
+}
+
+transport_registry::transport_registry() {
+  entries_.emplace_back("tcp", [](netstack& base) -> std::unique_ptr<transport> {
+    return std::make_unique<tcp_transport>(base);
+  });
+}
+
+void transport_registry::add(std::string name, factory make) {
+  for (auto& [n, f] : entries_) {
+    if (n == name) {
+      f = std::move(make);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(make));
+}
+
+bool transport_registry::known(std::string_view name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& e) { return e.first == name; });
+}
+
+std::vector<std::string> transport_registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [n, f] : entries_) out.push_back(n);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<transport> transport_registry::create(const std::string& name,
+                                                      netstack& base) const {
+  for (const auto& [n, f] : entries_) {
+    if (n == name) return f(base);
+  }
+  std::string known_names;
+  for (const auto& n : names()) {
+    if (!known_names.empty()) known_names += ", ";
+    known_names += n;
+  }
+  throw std::invalid_argument("unknown transport '" + name +
+                              "' (registered: " + known_names + ")");
+}
+
+}  // namespace nk::stack

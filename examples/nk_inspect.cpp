@@ -113,6 +113,33 @@ int main() {
                 static_cast<unsigned long long>(row.info.bytes_out));
   }
 
+  // --- 1b. the same flows through the tenant's eyes ------------------------
+  // The guest-visible stat page (DESIGN.md §16) carries the same telemetry
+  // redacted to the owning VM: keyed by the guest fd, no NSM ids, no cIDs,
+  // no shard indices. Side-by-side, the redaction is the point.
+  (void)tx.glib->nk_stat_refresh();
+  bed.run_for(milliseconds(1));
+  shm::stat_snapshot snap;
+  if (tx.glib->nk_stat_snapshot(snap)) {
+    std::printf("\ntenant stat page (in-guest view of the same flows):\n");
+    std::printf("%-4s %-6s %-12s %-10s %-10s %-6s %-12s\n", "fd", "proto",
+                "state", "srtt_us", "cwnd", "retx", "bytes_out");
+    for (std::size_t i = 0; i < snap.vm.sockets && i < snap.rows.size();
+         ++i) {
+      const auto& r = snap.rows[i];
+      std::printf("%-4llu %-6s %-12s %-10.0f %-10llu %-6llu %-12llu\n",
+                  static_cast<unsigned long long>(r.fd), r.transport, r.state,
+                  static_cast<double>(r.srtt_ns) / 1e3,
+                  static_cast<unsigned long long>(r.cwnd_bytes),
+                  static_cast<unsigned long long>(r.retransmits),
+                  static_cast<unsigned long long>(r.bytes_out));
+    }
+    std::printf(
+        "  (provider table above addresses <vm,nsm,cid>; the page shows the\n"
+        "   owning VM's fds only — vm/nsm/cid columns have no tenant "
+        "analogue)\n");
+  }
+
   // --- 2. where did the time go? -------------------------------------------
   std::printf("\nstage-pair critical path (tx side):\n%s\n",
               ce.tracer().critical_path_json().c_str());

@@ -18,6 +18,7 @@
 
 #include "shm/hugepage_pool.hpp"
 #include "shm/queue_set.hpp"
+#include "shm/stat_page.hpp"
 #include "virt/machine.hpp"
 
 namespace nk::core {
@@ -45,6 +46,12 @@ struct channel {
   virt::vm_id vm_id;
   nsm_id nsm;
   shm::hugepage_pool pool;  // payload region, unique key per pair
+
+  // Tenant-facing stat page (DESIGN.md §16): engine-written, guest-read-
+  // only. Lives on the channel so it survives quarantine (the retired
+  // attachment keeps the channel alive and the guest keeps its mapping —
+  // it just reads a frozen terminal snapshot).
+  shm::stat_page stats;
 
   [[nodiscard]] std::size_t shards() const { return lanes_.size(); }
 

@@ -54,6 +54,14 @@ core_engine::core_engine(virt::hypervisor& host, const core_engine_config& cfg)
   // Default history: the engine-level accounting gauges, so every bench
   // that turns the ring on gets forwarding/overflow/fault trajectories
   // without naming them.
+  // Tenant-facing stat pages ride the same cadence as the metric history:
+  // every timeseries tick also refreshes each attachment's guest-visible
+  // snapshot (DESIGN.md §16).
+  series_.add_tick_handler([this](sim_time) { publish_stat_pages(); });
+  metrics_.register_gauge_fn("engine_stat_publishes", [this] {
+    return static_cast<double>(stat_publishes_);
+  });
+
   series_.track("engine_nqes_forwarded");
   series_.track("engine_nqes_deferred");
   series_.track("engine_nqes_dropped");
@@ -280,6 +288,7 @@ std::vector<core_engine::flow_row> core_engine::flow_table() {
       row.fd = key->fd;
       row.nsm = id;
       row.cid = rec.cid;
+      row.remote = rec.remote;
       row.info = std::move(rec.info);
       row.transport = row.info.transport;
       out.push_back(std::move(row));
@@ -289,6 +298,102 @@ std::vector<core_engine::flow_row> core_engine::flow_table() {
     return a.vm != b.vm ? a.vm < b.vm : a.fd < b.fd;
   });
   return out;
+}
+
+// --- tenant-facing stat pages (DESIGN.md §16) --------------------------------
+
+void core_engine::publish_stat_pages() {
+  for (auto& [vm, att] : attachments_) {
+    (void)vm;
+    // A VM attached under an active quarantine gets no fresh telemetry:
+    // its frozen terminal page (on the retired channel) stays the last
+    // word until parole.
+    if (att.abuse != nullptr && att.abuse->level == abuse_level::quarantined) {
+      continue;
+    }
+    publish_stat_page(att);
+  }
+}
+
+void core_engine::publish_stat_page(attachment& att, bool freeze) {
+  NK_PROF("core_engine", "stat_publish");
+  if (!att.ch || att.vm == nullptr || att.module == nullptr) return;
+  const virt::vm_id vm = att.vm->id();
+  shm::stat_snapshot snap;
+
+  // Per-socket rows: this VM's slice of the provider flow table, redacted.
+  // Rows are keyed by guest fd and tagged with the transport and the
+  // guest-chosen peer — never NSM ids, cIDs, shard indices, or anything
+  // about a co-tenant multiplexed onto the same module. Ownership is
+  // enforced twice: the ServiceLib record's vm field AND the mapping-table
+  // join must both name this VM, or the flow is skipped.
+  std::size_t rows = 0;
+  if (service_lib* service = service_of(att.module->id())) {
+    for (auto& rec : service->flow_table()) {
+      if (rec.vm != vm) continue;
+      const flow_key* key = find_by_nsm(nsm_key{att.module->id(), rec.cid});
+      if (key == nullptr || key->vm != vm) continue;
+      ++snap.vm.sockets_total;
+      if (rows >= shm::stat_snapshot::max_rows) continue;
+      shm::nk_sock_stats& row = snap.rows[rows++];
+      row.fd = key->fd;
+      shm::set_stat_string(row.transport, sizeof row.transport,
+                           rec.info.transport);
+      shm::set_stat_string(row.state, sizeof row.state, rec.info.state);
+      shm::set_stat_string(row.cc, sizeof row.cc, rec.info.cc);
+      row.remote_ip = rec.remote.ip.value;
+      row.remote_port = rec.remote.port;
+      row.srtt_ns = rec.info.srtt_ns;
+      row.rttvar_ns = rec.info.rttvar_ns;
+      row.min_rtt_ns = rec.info.min_rtt_ns;
+      row.cwnd_bytes = rec.info.cwnd_bytes;
+      row.ssthresh_bytes = rec.info.ssthresh_bytes;
+      row.bytes_in_flight = rec.info.bytes_in_flight;
+      row.retransmits = rec.info.retransmits;
+      row.bytes_retransmitted = rec.info.bytes_retransmitted;
+      row.delivery_rate_bps =
+          static_cast<std::uint64_t>(rec.info.delivery_rate_bps);
+      row.bytes_in = rec.info.bytes_in;
+      row.bytes_out = rec.info.bytes_out;
+      row.sndbuf_bytes = rec.info.sndbuf_bytes;
+      row.sndbuf_capacity = rec.info.sndbuf_capacity;
+      row.rcvbuf_bytes = rec.info.rcvbuf_bytes;
+      row.rcvbuf_capacity = rec.info.rcvbuf_capacity;
+    }
+    snap.vm.staged_completions = service->staged_depth(vm);
+    snap.vm.cycle_budget_used = service->cycle_budget_used(vm);
+    snap.vm.chunk_quota_used = service->chunk_quota_used(vm);
+  }
+  snap.vm.sockets = rows;
+
+  // Per-VM aggregates: the backpressure/quota view the tenant needs to
+  // answer "is the stack throttling me?" without provider help.
+  snap.vm.published_ns = static_cast<std::uint64_t>(sim_.now().count());
+  snap.vm.publish_seq = att.ch->stats.version() / 2 + 1;
+  snap.vm.epoch = att.epoch;
+  if (freeze) snap.vm.flags |= shm::stat_frozen;
+  snap.vm.job_ring_depth = att.ch->vm_job_depth();
+  for (const auto& ln : att.lanes) {
+    snap.vm.staged_jobs += ln.stage->to_nsm.size();
+    snap.vm.staged_completions += ln.stage->to_vm_depth();
+  }
+  if (att.glib) {
+    const guest_lib_stats& gs = att.glib->stats();
+    snap.vm.staged_jobs += att.glib->deferred_jobs();
+    snap.vm.send_would_block = gs.send_blocked;
+    snap.vm.recv_would_block = gs.recv_blocked;
+  }
+  snap.vm.pool_chunks_free = att.ch->pool.chunks_free();
+
+  // The publish is provider-side work: charge one nqe-copy-sized unit per
+  // row (plus one for the aggregates) to the engine's control core, so the
+  // ≤2% overhead gate in bench/ablate_tenant_stats measures a modeled
+  // cost, not a free lunch.
+  if (sim::cpu_core* core = shards_[0].core) {
+    core->execute(cfg_.costs.nqe_copy * static_cast<int>(rows + 1), [] {});
+  }
+  att.ch->stats.publish(snap);
+  ++stat_publishes_;
 }
 
 std::optional<std::pair<nsm_id, std::uint32_t>> core_engine::mapping_of(
@@ -466,7 +571,8 @@ guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
 
   // Abuse record + firewall gauges. Heap-allocated like the overflow
   // stages, so the closures stay valid across rehashes of attachments_.
-  att.abuse = std::make_unique<abuse_state>(make_violation_budget());
+  att.abuse = std::make_unique<abuse_state>(make_violation_budget(),
+                                            make_stat_refresh_budget());
   abuse_state* ab = att.abuse.get();
   metrics_.register_gauge_fn(p + "_nqes_rejected", [ab] {
     return static_cast<double>(ab->rejected);
@@ -489,6 +595,11 @@ guest_lib& core_engine::attach_vm(virt::machine& vm, nsm& module) {
       sim_.schedule_at(q->readmit_at,
                        [this, id = vm.id()] { (void)readmit_vm(id); });
     }
+  }
+  // Seed the guest-visible stat page so in-guest readers see a valid
+  // (empty) snapshot from the first instruction, not an unpublished page.
+  if (it->second.abuse->level != abuse_level::quarantined) {
+    publish_stat_page(it->second);
   }
   log_info("core_engine: attached vm ", vm.id(), " (", vm.name(),
            ") to nsm ", module.id(), " across ", shards_.size(),
@@ -649,6 +760,23 @@ void core_engine::forward_to_nsm(attachment& att, std::size_t s, shm::nqe e) {
   engine_shard& sh = shards_[s];
   ++sh.stats.nqes_forwarded;
   const virt::vm_id vm = att.vm->id();
+
+  if (e.op == shm::nqe_op::req_stat_refresh) {
+    // On-demand stat-page refresh (DESIGN.md §16): served entirely inside
+    // the engine — never forwarded to the NSM, no completion generated.
+    // Floods past the per-VM refresh budget are firewall violations like
+    // any other (a refresh walks the flow table, so it is cheap, not free).
+    if (cfg_.firewall.enabled && att.abuse != nullptr &&
+        !att.abuse->stat_refresh.try_consume(sim_.now(), 1)) {
+      reject_nqe(att, s, e, reject_reason::badop);
+      return;
+    }
+    publish_stat_page(att);
+    // The nqe is consumed here, successfully: finish its trace (a drop
+    // would charge the exact-accounting invariant for a served request).
+    tracer_.finish(e.reserved);
+    return;
+  }
 
   if (e.op == shm::nqe_op::req_socket || e.op == shm::nqe_op::req_udp_open) {
     // New flow: install a mapping (in this shard's partition — the guest
@@ -1107,6 +1235,12 @@ void core_engine::quarantine_vm(virt::vm_id vm, std::string reason) {
                  "vm " + std::to_string(vm) + " quarantined: " + rec.reason,
                  now);
   log_info("core_engine: quarantined vm ", vm, " (", rec.reason, ")");
+  // Freeze the guest-visible stat page with the terminal flag before the
+  // detach scrub empties the flow table: the guest keeps its mapping (the
+  // retired attachment keeps the channel alive), and every read from now
+  // on returns this last snapshot with stat_frozen set — an in-guest nk_ss
+  // can tell "my stack is gone" from "my stack is idle".
+  publish_stat_page(att, /*freeze=*/true);
   // Abort the guest's local state first: the detach scrub below recycles
   // everything in rings, stages and mapping tables, but not the chunks
   // GuestLib holds internally (receive buffers, deferred submissions) —
@@ -1495,6 +1629,11 @@ void core_engine::switch_over(nsm_id old_id, nsm_id new_id, sim_time started) {
       }
     }
     next->notify();
+    // Republish the stat page under the new epoch: an in-guest reader
+    // polling the page sees the epoch advance, its established sockets
+    // vanish, and the journal-recovered listeners reappear — failover is
+    // visible to tenant diagnostics without any provider interaction.
+    publish_stat_page(att);
   }
 
   // Retire the dead incarnation. Kept alive — simulator callbacks and the

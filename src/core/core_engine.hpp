@@ -76,6 +76,12 @@ struct firewall_config {
   // Probation: how long a quarantined VM stays barred from re-attachment.
   // zero() means quarantine is permanent until readmit_vm() is called.
   sim_time probation = milliseconds(100);
+  // On-demand stat-page refresh budget (req_stat_refresh, DESIGN.md §16).
+  // A refresh is cheap but not free (one flow-table walk + page publish),
+  // so floods beyond this budget are rejected as badop violations and feed
+  // the same escalation ladder as any other firewall hit.
+  double stat_refresh_per_sec = 10000.0;
+  std::uint64_t stat_refresh_burst = 32;
 };
 
 struct core_engine_config {
@@ -331,10 +337,19 @@ class core_engine {
     std::uint32_t fd = 0;
     nsm_id nsm = 0;
     std::uint32_t cid = 0;
-    std::string transport;  // registry name of the serving protocol
+    std::string transport;      // registry name of the serving protocol
+    net::socket_addr remote{};  // guest-chosen peer address
     obs::nk_flow_info info;
   };
   [[nodiscard]] std::vector<flow_row> flow_table();
+
+  // --- tenant-facing stat pages (DESIGN.md §16) -------------------------------
+  //
+  // Publishes every attachment's guest-visible stat page now (one redacted
+  // flow-table sample per served NSM). Runs automatically on the timeseries
+  // cadence and on req_stat_refresh; public so control-plane callers
+  // (benches, examples) can force a fresh snapshot at a known sim time.
+  void publish_stat_pages();
 
   // The connection-mapping table's view of one guest socket: <NSM ID, cID>,
   // or nullopt when the fd has no mapping (or the cid is not yet known).
@@ -443,8 +458,10 @@ class core_engine {
   // stable pointer across rehashes of `attachments_`, like the overflow
   // stages).
   struct abuse_state {
-    explicit abuse_state(token_bucket b) : budget{std::move(b)} {}
-    token_bucket budget;  // violation budget (tokens = violations)
+    abuse_state(token_bucket b, token_bucket refresh)
+        : budget{std::move(b)}, stat_refresh{std::move(refresh)} {}
+    token_bucket budget;        // violation budget (tokens = violations)
+    token_bucket stat_refresh;  // req_stat_refresh flood budget
     abuse_level level = abuse_level::ok;
     std::uint64_t rejected = 0;    // firewall rejections charged to this VM
     std::uint64_t violations = 0;  // lifetime violations
@@ -489,6 +506,14 @@ class core_engine {
         data_rate::bits_per_sec(cfg_.firewall.violations_per_sec * 8.0),
         cfg_.firewall.violation_burst};
   }
+  [[nodiscard]] token_bucket make_stat_refresh_budget() const {
+    return token_bucket{
+        data_rate::bits_per_sec(cfg_.firewall.stat_refresh_per_sec * 8.0),
+        cfg_.firewall.stat_refresh_burst};
+  }
+  // Writes one redacted snapshot of `att`'s flows into its channel's stat
+  // page. `freeze` marks the page terminal (quarantine).
+  void publish_stat_page(attachment& att, bool freeze = false);
   // Most recent active quarantine record for `vm`, else nullptr.
   [[nodiscard]] const quarantine_record* active_quarantine(
       virt::vm_id vm) const;
@@ -571,6 +596,9 @@ class core_engine {
   // Append-only quarantine history; health_monitor consumes new entries
   // with a watermark and tests/benches read it for lifecycle assertions.
   std::vector<quarantine_record> quarantine_log_;
+
+  // Stat-page publishes across every attachment (cadence + on-demand).
+  std::uint64_t stat_publishes_ = 0;
 
   sla_manager sla_;
 };

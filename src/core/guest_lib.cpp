@@ -288,6 +288,7 @@ result<buffer> guest_lib::nk_recv(std::uint32_t fd, std::size_t max) {
   if (gs->rx_bytes == 0) {
     if (gs->eof) return errc::closed;
     if (gs->ph == phase::failed) return gs->err;
+    ++stats_.recv_blocked;
     return errc::would_block;
   }
 
@@ -411,6 +412,7 @@ status guest_lib::nk_setsockopt(std::uint32_t fd, nk_option opt,
                                 std::uint64_t value) {
   auto* gs = socket_of(fd);
   if (gs == nullptr) return errc::not_found;
+  if (opt == nk_option::tcp_info) return errc::invalid_argument;  // read-only
 
   shm::nqe e;
   e.op = shm::nqe_op::req_setsockopt;
@@ -418,6 +420,44 @@ status guest_lib::nk_setsockopt(std::uint32_t fd, nk_option opt,
   e.arg0 = static_cast<std::uint64_t>(opt);
   e.arg1 = value;
   submit(*gs, e, sim_time::zero());
+  return {};
+}
+
+result<shm::nk_sock_stats> guest_lib::nk_getsockopt(std::uint32_t fd,
+                                                    nk_option opt) {
+  if (opt != nk_option::tcp_info) return errc::not_supported;
+  if (socket_of(fd) == nullptr) return errc::not_found;
+  shm::stat_snapshot snap;
+  if (!ch_.stats.ever_published() || !ch_.stats.read(snap)) {
+    return errc::would_block;  // engine has not published yet
+  }
+  const shm::nk_sock_stats* row = snap.find(fd);
+  if (row == nullptr) return errc::would_block;  // no row in last snapshot
+  return *row;
+}
+
+result<shm::nk_vm_stats> guest_lib::nk_stack_stats() const {
+  shm::stat_snapshot snap;
+  if (!ch_.stats.ever_published() || !ch_.stats.read(snap)) {
+    return errc::would_block;
+  }
+  return snap.vm;
+}
+
+bool guest_lib::nk_stat_snapshot(shm::stat_snapshot& out) const {
+  return ch_.stats.ever_published() && ch_.stats.read(out);
+}
+
+status guest_lib::nk_stat_refresh() {
+  // Not socket-bound: rides lane 0 like other control traffic. Goes through
+  // enqueue_job so it is traced, staged on overflow, and — on the engine
+  // side — admitted through the firewall like every guest-emitted nqe.
+  NK_PROF("guestlib", "stat_refresh");
+  ++stats_.ops_issued;
+  shm::nqe e;
+  e.op = shm::nqe_op::req_stat_refresh;
+  e.owner = vm_.id();
+  enqueue_job(0, e);
   return {};
 }
 

@@ -43,11 +43,14 @@ namespace nk::core {
 class core_engine;
 
 // Socket options understood by req_setsockopt (ServiceLib side).
+// tcp_info is read-only: it names the nk_getsockopt(TCP_INFO) telemetry
+// snapshot served from the stat page and is rejected on the set path.
 enum class nk_option : std::uint64_t {
   congestion_control = 1,  // value: tcp::cc_algorithm
   recv_buffer = 2,
   send_buffer = 3,
   nagle = 4,
+  tcp_info = 5,
 };
 
 struct guest_lib_stats {
@@ -55,6 +58,7 @@ struct guest_lib_stats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
   std::uint64_t send_blocked = 0;  // credit, chunk, or job-ring exhaustion
+  std::uint64_t recv_blocked = 0;  // nk_recv with nothing buffered
   std::uint64_t events_delivered = 0;
   std::uint64_t jobs_deferred = 0;       // staged on a full VM-side job ring
   std::uint64_t chunks_freed_local = 0;  // recycles short-circuited in-VM
@@ -100,6 +104,24 @@ class guest_lib {
   status nk_setsockopt(std::uint32_t fd, nk_option opt, std::uint64_t value);
   status nk_shutdown(std::uint32_t fd);
   status nk_close(std::uint32_t fd);
+
+  // --- tenant-facing observability (DESIGN.md §16) ----------------------------
+  //
+  // All reads come from the engine-published stat page on the channel —
+  // zero round trips, zero nqes, safe to call from any diagnostic loop.
+  // The data is as fresh as the last publish (timeseries cadence or
+  // nk_stat_refresh); would_block means the fd has no published row yet.
+  [[nodiscard]] result<shm::nk_sock_stats> nk_getsockopt(std::uint32_t fd,
+                                                         nk_option opt);
+  // Per-VM aggregates (quota burn, staged depth, would_block counts).
+  [[nodiscard]] result<shm::nk_vm_stats> nk_stack_stats() const;
+  // Full-page snapshot for in-guest tools (examples/nk_ss); false only if
+  // nothing has been published yet or the seqlock never settled.
+  [[nodiscard]] bool nk_stat_snapshot(shm::stat_snapshot& out) const;
+  // On-demand freshness: submits req_stat_refresh through the normal job
+  // ring (and thus the admission firewall). The refreshed page appears
+  // once the engine drains the ring; no completion nqe is generated.
+  status nk_stat_refresh();
 
   // --- UDP (datagram service through the same NSM) --------------------------------
 

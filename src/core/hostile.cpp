@@ -99,6 +99,30 @@ bool hostile_guest::inject(attack kind) {
       e.handle = static_cast<std::uint32_t>(rng_.next_below(1 << 16));
       e.token = e.handle | ((1 + rng_.next_below(0xffff)) << 32);
       break;
+    case attack::stat_forge: {
+      // req_stat_refresh forgeries: the op itself is guest-emittable, so
+      // each variant corrupts exactly one field the firewall must catch —
+      // a foreign owner, a stamped epoch, or a smuggled descriptor (a
+      // refresh never carries data; a valid-looking desc on it is how an
+      // attacker would aim a downstream free at someone else's credit).
+      e.op = shm::nqe_op::req_stat_refresh;
+      const auto variant = rng_.next_below(3);
+      if (variant == 0) {
+        e.owner = static_cast<std::uint16_t>(vm_ + 1 + rng_.next_below(100));
+      } else if (variant == 1) {
+        e.epoch = static_cast<std::uint8_t>(1 + rng_.next_below(255));
+      } else {
+        shm::data_descriptor desc;
+        desc.chunk.pool_key = ch->pool.key() + 1 +
+                              static_cast<std::uint32_t>(rng_.next_below(1000));
+        desc.chunk.index = static_cast<std::uint32_t>(
+            rng_.next_below(2 * ch->pool.chunk_count()));
+        desc.length = 1 + static_cast<std::uint32_t>(
+                              rng_.next_below(ch->pool.chunk_size()));
+        e.desc = desc;
+      }
+      break;
+    }
   }
 
   const auto s = static_cast<std::size_t>(rng_.next_below(ch->shards()));

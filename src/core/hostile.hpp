@@ -33,12 +33,17 @@ class hostile_guest {
   //                          onto a control op)
   //   bad_epoch -> badepoch (nonzero epoch or forged owner id)
   //   bad_token -> badepoch (creating op whose token does not match its fd)
+  //   stat_forge -> badepoch/badchunk (req_stat_refresh with a forged
+  //                 owner/epoch or a smuggled descriptor). Directed-only:
+  //                 random storms keep the original five categories so
+  //                 seeded chaos runs stay deterministic across PRs.
   enum class attack : std::uint8_t {
     bad_op = 0,
     bad_fd,
     bad_chunk,
     bad_epoch,
     bad_token,
+    stat_forge,
   };
 
   hostile_guest(core_engine& engine, virt::vm_id vm, std::uint64_t seed);

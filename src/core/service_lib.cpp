@@ -119,7 +119,9 @@ std::vector<service_lib::flow_record> service_lib::flow_table() {
     if (ps.listener || ps.udp || ps.ssock == 0) continue;
     auto fi = nsm_.transport().flow_info(ps.ssock);
     if (!fi.has_value()) continue;
-    out.push_back(flow_record{cid, ps.vm, std::move(*fi)});
+    const auto remote = nsm_.transport().remote_of(ps.ssock);
+    out.push_back(flow_record{cid, ps.vm, remote.value_or(net::socket_addr{}),
+                              std::move(*fi)});
   }
   std::sort(out.begin(), out.end(),
             [](const flow_record& a, const flow_record& b) {

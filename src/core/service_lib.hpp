@@ -133,6 +133,7 @@ class service_lib {
   struct flow_record {
     std::uint32_t cid = 0;
     virt::vm_id vm = 0;
+    net::socket_addr remote{};  // guest-chosen peer (tenant-safe identity)
     obs::nk_flow_info info;
   };
   [[nodiscard]] std::vector<flow_record> flow_table();

@@ -690,6 +690,7 @@ obs::nk_flow_info connection::flow_info() const {
   fi.cc = cc_ != nullptr ? std::string{cc_->name()} : "none";
   fi.srtt_ns = static_cast<std::uint64_t>(srtt_.count());
   fi.rttvar_ns = static_cast<std::uint64_t>(rttvar_.count());
+  fi.min_rtt_ns = static_cast<std::uint64_t>(min_rtt_.count());
   fi.cwnd_bytes = cc_ != nullptr ? cc_->cwnd_bytes() : 0;
   fi.ssthresh_bytes = cc_ != nullptr ? cc_->ssthresh_bytes() : 0;
   fi.bytes_in_flight = bytes_in_flight_;

@@ -28,8 +28,11 @@ struct nk_flow_info {
   std::string cc;
 
   // Round-trip estimation (RFC 6298 smoothed values, nanoseconds).
+  // min_rtt_ns is the windowed path-RTT floor both transports track for
+  // their delivery-rate samplers; 0 until the first valid sample.
   std::uint64_t srtt_ns = 0;
   std::uint64_t rttvar_ns = 0;
+  std::uint64_t min_rtt_ns = 0;
 
   // Congestion control. ssthresh_bytes 0 means "not yet set" (no loss seen,
   // still in initial slow start) or "not applicable" (BBR has no ssthresh).
@@ -61,6 +64,7 @@ struct nk_flow_info {
     os << "{\"transport\":\"" << transport << "\",\"state\":\"" << state
        << "\",\"cc\":\"" << cc
        << "\",\"srtt_ns\":" << srtt_ns << ",\"rttvar_ns\":" << rttvar_ns
+       << ",\"min_rtt_ns\":" << min_rtt_ns
        << ",\"cwnd_bytes\":" << cwnd_bytes
        << ",\"ssthresh_bytes\":" << ssthresh_bytes
        << ",\"bytes_in_flight\":" << bytes_in_flight

@@ -30,6 +30,7 @@ enum class nqe_op : std::uint8_t {
   req_close,        // release the socket
   req_udp_open,     // arg0 = local port (0 = ephemeral)
   req_udp_send,     // desc = datagram, arg0 = dest ip, arg1 = dest port
+  req_stat_refresh, // publish the VM's stat page now (no completion)
 
   // Completions (ServiceLib -> CoreEngine -> GuestLib), via completion queues.
   cmp_generic,    // status of the correlated request (token)
@@ -59,6 +60,7 @@ enum class nqe_op : std::uint8_t {
     case nqe_op::req_close: return "req_close";
     case nqe_op::req_udp_open: return "req_udp_open";
     case nqe_op::req_udp_send: return "req_udp_send";
+    case nqe_op::req_stat_refresh: return "req_stat_refresh";
     case nqe_op::cmp_generic: return "cmp_generic";
     case nqe_op::cmp_socket: return "cmp_socket";
     case nqe_op::cmp_connected: return "cmp_connected";
@@ -125,6 +127,7 @@ enum class nqe_op : std::uint8_t {
     case nqe_op::req_close:
     case nqe_op::req_udp_open:
     case nqe_op::req_udp_send:
+    case nqe_op::req_stat_refresh:
       return true;
     default:
       return false;

@@ -882,6 +882,9 @@ obs::nk_flow_info tcb::flow_info() const {
       rtt_.srtt().count() < 0 ? 0 : rtt_.srtt().count());
   fi.rttvar_ns = static_cast<std::uint64_t>(
       rtt_.rttvar().count() < 0 ? 0 : rtt_.rttvar().count());
+  fi.min_rtt_ns = min_rtt_.valid()
+                      ? static_cast<std::uint64_t>(min_rtt_.value().count())
+                      : 0;
   fi.cwnd_bytes = cc_->cwnd_bytes();
   fi.ssthresh_bytes = cc_->ssthresh_bytes();
   fi.bytes_in_flight = bytes_in_flight();

@@ -1076,6 +1076,171 @@ TEST(netkernel_firewall, reattach_during_probation_stays_quarantined) {
             1.0);
 }
 
+// --- tenant-facing stat pages (DESIGN.md §16) ------------------------------
+
+// Drives one echo connection, then asks the page for TCP_INFO: the row must
+// carry live transport telemetry (srtt, cwnd, byte counters) for the guest
+// fd, and the option must be rejected as read-only on the set path.
+TEST(netkernel_statpage, tcp_info_live_after_refresh) {
+  nk_pair rig;
+  auto& gs = *rig.server.glib;
+  auto& gc = *rig.client.glib;
+
+  const auto lfd = gs.nk_socket().value();
+  ASSERT_TRUE(gs.nk_bind(lfd, 7000).ok());
+  ASSERT_TRUE(gs.nk_listen(lfd).ok());
+  gs.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                           errc) {
+    if (fd == lfd && t == stack::socket_event_type::accept_ready) {
+      while (gs.nk_accept(lfd).ok()) {
+      }
+    }
+  });
+  const auto cfd = gc.nk_socket().value();
+  gc.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                           errc) {
+    if (fd == cfd && t == stack::socket_event_type::connected) {
+      (void)gc.nk_send(cfd, buffer::pattern(200000, 0));
+    }
+  });
+  ASSERT_TRUE(
+      gc.nk_connect(cfd, {rig.server.module->config().address, 7000}).ok());
+  rig.bed.run_for(seconds(1));
+
+  // The attach-time page predates the connection; a refresh brings it live.
+  ASSERT_TRUE(gc.nk_stat_refresh().ok());
+  rig.bed.run_for(milliseconds(10));
+
+  const auto info = gc.nk_getsockopt(cfd, nk_option::tcp_info);
+  ASSERT_TRUE(info.ok());
+  EXPECT_STREQ(info.value().transport, "tcp");
+  EXPECT_STREQ(info.value().state, "established");
+  EXPECT_STREQ(info.value().cc, "cubic");
+  EXPECT_GT(info.value().srtt_ns, 0u);
+  EXPECT_GT(info.value().min_rtt_ns, 0u);
+  EXPECT_GT(info.value().cwnd_bytes, 0u);
+  EXPECT_GT(info.value().bytes_out, 0u);
+  EXPECT_EQ(info.value().remote_port, 7000u);
+
+  const auto vm = gc.nk_stack_stats();
+  ASSERT_TRUE(vm.ok());
+  EXPECT_GT(vm.value().publish_seq, 1u);  // attach publish + refresh
+  EXPECT_EQ(vm.value().epoch, 0u);
+  EXPECT_EQ(vm.value().flags & shm::stat_frozen, 0u);
+  EXPECT_GE(vm.value().sockets, 1u);
+  EXPECT_GT(vm.value().pool_chunks_free, 0u);
+
+  // TCP_INFO is read-only and unknown fds have no row.
+  EXPECT_EQ(gc.nk_setsockopt(cfd, nk_option::tcp_info, 1).error(),
+            errc::invalid_argument);
+  EXPECT_EQ(gc.nk_getsockopt(0xdeadu, nk_option::tcp_info).error(),
+            errc::not_found);
+  EXPECT_EQ(gc.nk_getsockopt(cfd, nk_option::nagle).error(),
+            errc::not_supported);
+}
+
+// Same contract over the nkq transport: a guest on an nkq-backed NSM gets
+// live rows tagged "nkq" with the reliable-UDP stack's telemetry.
+TEST(netkernel_statpage, nkq_socket_reports_live_stats) {
+  testbed bed{apps::datacenter_params(3)};
+  nsm_config nsm_cfg;
+  nsm_cfg.tcp = apps::datacenter_tcp(tcp::cc_algorithm::cubic);
+  nsm_cfg.transport = "nkq";
+  virt::vm_config vm_cfg;
+  vm_cfg.name = "nkq-client";
+  auto client = bed.add_netkernel_vm(side::a, vm_cfg, nsm_cfg);
+  vm_cfg.name = "nkq-server";
+  nsm_cfg.name = "nsm-nkq-srv";
+  auto server = bed.add_netkernel_vm(side::b, vm_cfg, nsm_cfg);
+
+  auto& gs = *server.glib;
+  auto& gc = *client.glib;
+  const auto lfd = gs.nk_socket().value();
+  ASSERT_TRUE(gs.nk_bind(lfd, 7100).ok());
+  ASSERT_TRUE(gs.nk_listen(lfd).ok());
+  gs.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                           errc) {
+    if (fd == lfd && t == stack::socket_event_type::accept_ready) {
+      while (gs.nk_accept(lfd).ok()) {
+      }
+    }
+  });
+  const auto cfd = gc.nk_socket().value();
+  gc.set_event_handler([&](std::uint32_t fd, stack::socket_event_type t,
+                           errc) {
+    if (fd == cfd && t == stack::socket_event_type::connected) {
+      (void)gc.nk_send(cfd, buffer::pattern(100000, 0));
+    }
+  });
+  ASSERT_TRUE(
+      gc.nk_connect(cfd, {server.module->config().address, 7100}).ok());
+  bed.run_for(seconds(1));
+
+  ASSERT_TRUE(gc.nk_stat_refresh().ok());
+  bed.run_for(milliseconds(10));
+
+  const auto info = gc.nk_getsockopt(cfd, nk_option::tcp_info);
+  ASSERT_TRUE(info.ok());
+  EXPECT_STREQ(info.value().transport, "nkq");
+  EXPECT_GT(info.value().srtt_ns, 0u);
+  EXPECT_GT(info.value().cwnd_bytes, 0u);
+  EXPECT_GT(info.value().bytes_out, 0u);
+}
+
+// NSM failover republishes the page under the bumped attachment epoch, so a
+// purely in-guest reader can tell its stack was replaced.
+TEST(netkernel_statpage, failover_bumps_page_epoch) {
+  nk_pair rig;
+  auto& gc = *rig.client.glib;
+  rig.bed.run_for(milliseconds(10));
+  ASSERT_TRUE(gc.nk_stack_stats().ok());
+  ASSERT_EQ(gc.nk_stack_stats().value().epoch, 0u);
+
+  core_engine& ce = rig.bed.netkernel(side::a);
+  const nsm_id dead = rig.client.module->id();
+  ce.service_of(dead)->fail();
+  nsm_config fresh = rig.client.module->config();
+  fresh.name = "nsm-a2";
+  fresh.form = nsm_form::container;
+  ce.replace_nsm(dead, fresh);
+  rig.bed.run_for(milliseconds(200));  // boot + switchover republish
+
+  const auto vm = gc.nk_stack_stats();
+  ASSERT_TRUE(vm.ok());
+  EXPECT_EQ(vm.value().epoch, 1u);
+  EXPECT_EQ(vm.value().flags & shm::stat_frozen, 0u);
+}
+
+// Quarantine freezes the page: the terminal snapshot carries stat_frozen and
+// never advances again, even though the retired channel stays mapped.
+TEST(netkernel_statpage, quarantine_freezes_page) {
+  firewall_rig rig{sim_time::zero()};
+  auto& rogue_glib = *rig.rogue->glib;
+  hostile_guest attacker{rig.engine(), rig.rogue_id(), 21};
+  rig.storm_until_quarantined(attacker);
+  ASSERT_TRUE(rig.engine().quarantined(rig.rogue_id()));
+
+  // The guest can still read its (terminal) page through the retired
+  // channel and learns why its sockets died.
+  shm::stat_snapshot snap;
+  ASSERT_TRUE(rogue_glib.nk_stat_snapshot(snap));
+  EXPECT_NE(snap.vm.flags & shm::stat_frozen, 0u);
+  const auto frozen_seq = snap.vm.publish_seq;
+
+  // The page never advances again: refresh requests go nowhere (the VM is
+  // detached from the engine) and time alone changes nothing.
+  rig.bed.run_for(milliseconds(50));
+  ASSERT_TRUE(rogue_glib.nk_stat_snapshot(snap));
+  EXPECT_EQ(snap.vm.publish_seq, frozen_seq);
+  EXPECT_NE(snap.vm.flags & shm::stat_frozen, 0u);
+
+  // The clean neighbor's page is alive and unfrozen.
+  ASSERT_TRUE(rig.client.glib->nk_stack_stats().ok());
+  EXPECT_EQ(rig.client.glib->nk_stack_stats().value().flags &
+                shm::stat_frozen,
+            0u);
+}
+
 TEST(netkernel_firewall, manual_readmit_clears_permanent_quarantine) {
   firewall_rig rig{sim_time::zero()};
   hostile_guest attacker{rig.engine(), rig.rogue_id(), 7};

@@ -296,5 +296,78 @@ TEST_P(raw_ring_fuzz, random_garbage_nqes_never_crash_or_leak) {
 INSTANTIATE_TEST_SUITE_P(seeds, raw_ring_fuzz,
                          ::testing::Range<std::uint64_t>(1, 6));
 
+// --- raw_ring: req_stat_refresh forgeries (DESIGN.md §16) -------------------
+
+// Forged stat-refresh nqes (foreign owner, stamped epoch, smuggled
+// descriptor) must all die at the admission firewall: exact rejection
+// accounting, the stat page never republished by a forgery, nothing leaked,
+// and the escalation ladder no further than warn with the budget disabled.
+TEST(raw_ring_stat_refresh, forged_refreshes_rejected_page_untouched) {
+  raw_ring_rig rig{11};
+  auto* ch = rig.engine().channel_of(rig.target.vm->id());
+  ASSERT_NE(ch, nullptr);
+  // attach_vm seeded the page exactly once.
+  const std::uint64_t version_before = ch->stats.version();
+  EXPECT_GT(version_before, 0u);
+
+  hostile_guest attacker{rig.engine(), rig.target.vm->id(), 2024};
+  std::uint64_t landed = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (attacker.inject(hostile_guest::attack::stat_forge)) ++landed;
+    if (i % 8 == 7) rig.bed.run_for(microseconds(500));
+  }
+  rig.bed.run_for(milliseconds(20));
+
+  EXPECT_GT(landed, 0u);
+  EXPECT_EQ(rig.rejected_total(), landed);
+  EXPECT_EQ(rig.rejected_by_reason_sum(), rig.rejected_total());
+  // No forgery reached the publisher: the page still holds the attach-time
+  // snapshot.
+  EXPECT_EQ(ch->stats.version(), version_before);
+  rig.expect_invariants();
+  // Escalation unchanged: violations were recorded but the (effectively
+  // infinite) budget keeps the VM at warn, attached and serviceable.
+  EXPECT_FALSE(rig.engine().quarantined(rig.target.vm->id()));
+  EXPECT_LE(static_cast<int>(rig.engine().abuse_level_of(rig.target.vm->id())),
+            static_cast<int>(abuse_level::warn));
+}
+
+// A refresh flood past the per-VM budget: the budgeted prefix is served
+// (page republished), the excess is rejected and counted as badop, and a
+// well-formed refresh after the budget refills is served again.
+TEST(raw_ring_stat_refresh, refresh_flood_beyond_budget_rejected) {
+  raw_ring_rig rig{12};
+  auto* ch = rig.engine().channel_of(rig.target.vm->id());
+  ASSERT_NE(ch, nullptr);
+  auto& glib = *rig.target.glib;
+
+  const std::uint64_t burst = rig.engine().config().firewall.stat_refresh_burst;
+  const std::uint64_t extra = 8;
+  const std::uint64_t version_before = ch->stats.version();
+  for (std::uint64_t i = 0; i < burst + extra; ++i) {
+    ASSERT_TRUE(glib.nk_stat_refresh().ok());
+  }
+  rig.bed.run_for(milliseconds(20));
+
+  // The budgeted prefix republished the page; the flood was refused.
+  EXPECT_EQ(ch->stats.version(), version_before + 2 * burst);
+  EXPECT_EQ(rig.rejected_total(), extra);
+  std::uint64_t badop = 0;
+  for (std::size_t s = 0; s < rig.engine().shards(); ++s) {
+    badop += rig.engine().shard_rejected_reasons(
+        s)[static_cast<std::size_t>(reject_reason::badop)];
+  }
+  EXPECT_EQ(badop, extra);
+  rig.expect_invariants();
+  EXPECT_FALSE(rig.engine().quarantined(rig.target.vm->id()));
+
+  // Budget refills with time; a polite refresh is served again.
+  rig.bed.run_for(milliseconds(100));
+  ASSERT_TRUE(glib.nk_stat_refresh().ok());
+  rig.bed.run_for(milliseconds(20));
+  EXPECT_EQ(ch->stats.version(), version_before + 2 * (burst + 1));
+  EXPECT_EQ(rig.rejected_total(), extra);  // no new rejections
+}
+
 }  // namespace
 }  // namespace nk::core

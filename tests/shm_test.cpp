@@ -13,6 +13,7 @@
 #include "shm/nqe.hpp"
 #include "shm/queue_set.hpp"
 #include "shm/spsc_ring.hpp"
+#include "shm/stat_page.hpp"
 #include "shm/steering.hpp"
 
 namespace nk::shm {
@@ -387,6 +388,130 @@ TEST(flow_steering, mixer_avalanches_and_balances_sequential_keys) {
   EXPECT_EQ(flow_shard(9, 1234, 1), 0u);
   EXPECT_EQ(flow_shard(9, 1234, 0), 0u);
   EXPECT_EQ(nsm_shard(3, 99, 1), 0u);
+}
+
+// --- stat_page (tenant-facing observability, DESIGN.md §16) ----------------
+
+TEST(stat_page, publish_read_roundtrip_and_versioning) {
+  stat_page page;
+  EXPECT_FALSE(page.ever_published());
+  stat_snapshot out;
+  EXPECT_FALSE(page.read(out));  // nothing published yet
+
+  stat_snapshot snap{};
+  snap.vm.publish_seq = 1;
+  snap.vm.epoch = 3;
+  snap.vm.sockets = 2;
+  snap.rows[0].fd = 4;
+  set_stat_string(snap.rows[0].transport, sizeof(snap.rows[0].transport),
+                  "tcp");
+  set_stat_string(snap.rows[0].state, sizeof(snap.rows[0].state),
+                  "established");
+  snap.rows[0].srtt_ns = 250'000;
+  snap.rows[1].fd = 9;
+  page.publish(snap);
+
+  EXPECT_TRUE(page.ever_published());
+  EXPECT_EQ(page.version(), 2u);  // seqlock: one publish = +2, even at rest
+  ASSERT_TRUE(page.read(out));
+  EXPECT_EQ(out.vm.epoch, 3u);
+  ASSERT_NE(out.find(4), nullptr);
+  EXPECT_STREQ(out.find(4)->transport, "tcp");
+  EXPECT_STREQ(out.find(4)->state, "established");
+  EXPECT_EQ(out.find(4)->srtt_ns, 250'000u);
+  ASSERT_NE(out.find(9), nullptr);
+  EXPECT_EQ(out.find(7), nullptr);  // fd 7 is not a published row
+
+  snap.vm.publish_seq = 2;
+  snap.vm.flags |= stat_frozen;
+  page.publish(snap);
+  EXPECT_EQ(page.version(), 4u);
+  ASSERT_TRUE(page.read(out));
+  EXPECT_EQ(out.vm.publish_seq, 2u);
+  EXPECT_NE(out.vm.flags & stat_frozen, 0u);
+}
+
+TEST(stat_page, set_stat_string_truncates_and_terminates) {
+  char buf[8];
+  set_stat_string(buf, sizeof(buf), "established");  // longer than buf
+  EXPECT_EQ(buf[sizeof(buf) - 1], '\0');
+  EXPECT_STREQ(buf, "establi");
+  set_stat_string(buf, sizeof(buf), "ok");
+  EXPECT_STREQ(buf, "ok");
+}
+
+// Two-thread seqlock stress under socket churn: a writer republishing
+// snapshots whose every field is derived from the publish sequence (and
+// whose row count grows and shrinks, as sockets open and close), against a
+// reader spinning on read(). Any torn read — a row mixing fields from two
+// publishes, or a row count from a different generation than its rows —
+// fails the self-consistency check. Run under TSan via the smoke label.
+TEST(stat_page, concurrent_reader_never_observes_torn_snapshot) {
+  stat_page page;
+  constexpr std::uint64_t publishes = 4000;
+
+  auto fill = [](stat_snapshot& snap, std::uint64_t seq) {
+    snap = stat_snapshot{};
+    snap.vm.publish_seq = seq;
+    // Churn: the socket count sweeps the full row range and back.
+    const auto phase = seq % (2 * stat_snapshot::max_rows);
+    snap.vm.sockets = phase < stat_snapshot::max_rows
+                          ? phase
+                          : 2 * stat_snapshot::max_rows - phase;
+    snap.vm.epoch = seq;
+    snap.vm.published_ns = seq * 1000;
+    for (std::uint64_t r = 0; r < snap.vm.sockets; ++r) {
+      auto& row = snap.rows[r];
+      row.fd = seq + r;
+      row.srtt_ns = seq ^ r;
+      row.cwnd_bytes = seq + 2 * r;
+      row.retransmits = seq;
+      row.bytes_in = seq * 3 + r;
+    }
+  };
+
+  std::atomic<bool> done{false};
+  std::uint64_t reads = 0, torn = 0;
+  std::thread reader([&] {
+    stat_snapshot out;
+    while (!done.load(std::memory_order_acquire)) {
+      if (!page.read(out)) continue;
+      ++reads;
+      const auto seq = out.vm.publish_seq;
+      stat_snapshot expect;
+      fill(expect, seq);
+      if (out.vm.sockets != expect.vm.sockets || out.vm.epoch != seq ||
+          out.vm.published_ns != seq * 1000) {
+        ++torn;
+        continue;
+      }
+      for (std::uint64_t r = 0; r < out.vm.sockets; ++r) {
+        if (out.rows[r].fd != seq + r || out.rows[r].srtt_ns != (seq ^ r) ||
+            out.rows[r].cwnd_bytes != seq + 2 * r ||
+            out.rows[r].retransmits != seq ||
+            out.rows[r].bytes_in != seq * 3 + r) {
+          ++torn;
+          break;
+        }
+      }
+    }
+  });
+
+  stat_snapshot snap;
+  for (std::uint64_t seq = 1; seq <= publishes; ++seq) {
+    fill(snap, seq);
+    page.publish(snap);
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(torn, 0u);
+  EXPECT_GT(reads, 0u);
+  EXPECT_EQ(page.version(), 2 * publishes);
+  // The final snapshot is intact after the storm.
+  stat_snapshot out;
+  ASSERT_TRUE(page.read(out));
+  EXPECT_EQ(out.vm.publish_seq, publishes);
 }
 
 TEST(hugepage_pool, exhaustion_toggle_fails_allocs_and_counts) {
